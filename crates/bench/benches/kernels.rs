@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks over the engine's hot kernels — the
+//! measured backbone of experiments E4, E5, E10 and E16.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use haec_columnar::bitmap::Bitmap;
+use haec_columnar::encoding::{EncodedInts, Scheme};
+use haec_columnar::value::CmpOp;
+use haec_exec::agg::{parallel_group_sum, SyncStrategy};
+use haec_exec::join::HashJoin;
+use haec_exec::select::{select_positions, SelectKernel};
+
+fn shuffled(n: usize) -> Vec<i64> {
+    let mut v: Vec<i64> = (0..n as i64).collect();
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    for i in (1..v.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// E5: the three selection kernels at the adversarial selectivity (0.5).
+fn bench_select_kernels(c: &mut Criterion) {
+    let n = 1_000_000;
+    let data = shuffled(n);
+    let lit = (n / 2) as i64;
+    let mut g = c.benchmark_group("e05_select_kernels_sel0.5");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for kernel in SelectKernel::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kernel), &kernel, |b, &k| {
+            b.iter(|| select_positions(&data, CmpOp::Lt, lit, k))
+        });
+    }
+    g.finish();
+}
+
+/// E16: encode/decode/scan throughput per scheme on run-heavy data.
+fn bench_compression(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let data: Vec<i64> = (0..n).map(|i| (i / 512) as i64 % 37).collect();
+    let mut g = c.benchmark_group("e16_compression_runs");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for scheme in Scheme::ALL {
+        g.bench_with_input(BenchmarkId::new("encode", scheme), &scheme, |b, &s| {
+            b.iter(|| EncodedInts::encode(&data, s))
+        });
+        let encoded = EncodedInts::encode(&data, scheme);
+        g.bench_with_input(BenchmarkId::new("scan", scheme), &encoded, |b, e| {
+            b.iter(|| {
+                let mut bm = Bitmap::zeros(n);
+                e.scan(CmpOp::Ge, 18, &mut bm);
+                bm.count_ones()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E4: parallel aggregation synchronization strategies.
+fn bench_sync_strategies(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let groups = 8usize;
+    let keys: Vec<u32> = (0..n).map(|i| ((i * 2_654_435_761) % groups) as u32).collect();
+    let values: Vec<i64> = (0..n).map(|i| (i % 1000) as i64).collect();
+    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(2);
+    let mut g = c.benchmark_group("e04_parallel_group_sum");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for strategy in SyncStrategy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(strategy), &strategy, |b, &s| {
+            b.iter(|| parallel_group_sum(&keys, &values, groups, threads, s))
+        });
+    }
+    g.finish();
+}
+
+/// Joins: build+probe throughput (supports E1's cost constants).
+fn bench_hash_join(c: &mut Criterion) {
+    let build: Vec<i64> = (0..100_000).collect();
+    let probe: Vec<i64> = (50_000..550_000).collect();
+    let mut g = c.benchmark_group("join_hash");
+    g.throughput(Throughput::Elements((build.len() + probe.len()) as u64));
+    g.sample_size(10);
+    g.bench_function("build_probe", |b| {
+        b.iter(|| HashJoin::build(&build).probe(&probe).len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select_kernels,
+    bench_compression,
+    bench_sync_strategies,
+    bench_hash_join
+);
+criterion_main!(benches);

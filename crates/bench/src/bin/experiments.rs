@@ -1,0 +1,32 @@
+//! Regenerates every table/figure of the reproduction.
+//!
+//! ```text
+//! cargo run -p haec-bench --release --bin experiments          # all
+//! cargo run -p haec-bench --release --bin experiments e03 e08  # subset
+//! ```
+
+use haec_bench::exps;
+use haec_bench::report::time_it;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = exps::all();
+    let selected: Vec<_> = if args.is_empty() {
+        all
+    } else {
+        all.into_iter().filter(|(id, _)| args.iter().any(|a| a == id)).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no matching experiments; known ids: e01..e16");
+        std::process::exit(2);
+    }
+    println!("haecdb experiment harness — reproduction of Lehner, DATE 2013");
+    println!("(energy figures come from the calibrated analytical model; see DESIGN.md)");
+    println!();
+    for (id, runner) in selected {
+        let (report, took) = time_it(runner);
+        println!("{report}");
+        println!("   [{id} completed in {:.2} s]", took.as_secs_f64());
+        println!();
+    }
+}

@@ -1,0 +1,86 @@
+//! E2 — **Fig. 2**: impact of an energy constraint on query processing:
+//! response time and throughput under a sweeping power budget.
+
+use crate::report::{fmt_joules, Report};
+use haec_energy::units::Watts;
+use haec_sched::governor::GovernorPolicy;
+use haec_sched::server::{run_server_sim, ServerSimConfig};
+use std::time::Duration;
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E2",
+        "Fig. 2 — query processing under an energy constraint",
+        "the system must flexibly trade response time vs throughput under a power budget (§IV, Fig. 2)",
+    );
+    r.headers(["budget (% peak)", "cap", "throughput q/s", "p50 resp", "p95 resp", "J/query", "avg power"]);
+
+    // Offered load ≈ 78% of the 8-core machine's cycle capacity: stable
+    // when unconstrained, so any degradation is the budget's doing.
+    let mut cfg = ServerSimConfig::default_mix();
+    cfg.arrival_rate = 90.0;
+    cfg.mean_work_cycles = 2.0e8;
+    cfg.horizon = Duration::from_secs(60);
+    let peak = cfg.machine.peak_power().watts();
+
+    let mut last_throughput = f64::INFINITY;
+    let mut p95_unconstrained = 0.0;
+    let mut p95_tightest = 0.0;
+    for frac in [1.0, 0.8, 0.6, 0.5, 0.4, 0.3] {
+        cfg.governor = GovernorPolicy::EnergyCap(Watts::new(peak * frac));
+        let out = run_server_sim(&cfg);
+        let p50 = out.response.quantile_duration(0.50).unwrap_or_default();
+        let p95 = out.response.quantile_duration(0.95).unwrap_or_default();
+        r.row([
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.0} W", peak * frac),
+            format!("{:.1}", out.throughput),
+            format!("{:.1} ms", p50.as_secs_f64() * 1e3),
+            format!("{:.1} ms", p95.as_secs_f64() * 1e3),
+            fmt_joules(out.energy_per_query.joules()),
+            format!("{:.0} W", out.avg_power.watts()),
+        ]);
+        assert!(out.throughput <= last_throughput + 1.0, "throughput rose as budget shrank");
+        last_throughput = out.throughput;
+        if frac == 1.0 {
+            p95_unconstrained = p95.as_secs_f64();
+        }
+        if frac == 0.3 {
+            p95_tightest = p95.as_secs_f64();
+        }
+    }
+    r.note(format!(
+        "tightening the budget to 30% of peak stretches p95 response {:.1}x — the Fig. 2 trade-off",
+        p95_tightest / p95_unconstrained.max(1e-9)
+    ));
+
+    // Governor family comparison at a fixed moderate load.
+    let mut g = Report::new("E2b", "governor comparison (same load)", "race-to-idle vs pace vs ondemand (§IV)");
+    let _ = &mut g;
+    for gov in [
+        GovernorPolicy::RaceToIdle,
+        GovernorPolicy::OnDemand,
+        GovernorPolicy::PaceToDeadline(Duration::from_millis(400)),
+    ] {
+        cfg.governor = gov;
+        let out = run_server_sim(&cfg);
+        r.row([
+            format!("{gov}"),
+            "-".into(),
+            format!("{:.1}", out.throughput),
+            format!(
+                "{:.1} ms",
+                out.response.quantile_duration(0.50).unwrap_or_default().as_secs_f64() * 1e3
+            ),
+            format!(
+                "{:.1} ms",
+                out.response.quantile_duration(0.95).unwrap_or_default().as_secs_f64() * 1e3
+            ),
+            fmt_joules(out.energy_per_query.joules()),
+            format!("{:.0} W", out.avg_power.watts()),
+        ]);
+    }
+    r.note("last three rows: uncapped governors on the same load for reference");
+    r
+}

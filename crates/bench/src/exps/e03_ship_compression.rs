@@ -1,0 +1,67 @@
+//! E3 — ship intermediates compressed or raw, "decided on a
+//! case-by-case basis" (§IV).
+
+use crate::report::Report;
+use haec_energy::units::ByteCount;
+use haec_net::shipping::{decide, time_crossover_bandwidth, CompressorSpec, Objective};
+use haec_net::topology::{LinkClass, LinkSpec};
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E3",
+        "compressed vs raw shipping across link classes",
+        "codec cost vs wire savings flips per link; time- and energy-optimal choices can differ (§IV)",
+    );
+    r.headers(["link", "payload", "codec", "raw", "compressed", "min-time", "min-energy"]);
+
+    let payload = ByteCount::from_mib(256);
+    let light = CompressorSpec::lightweight(4.0);
+    let heavy = CompressorSpec::heavyweight(8.0);
+    let links = [
+        (LinkClass::IntraBoard, "intra-board"),
+        (LinkClass::Optical, "optical"),
+        (LinkClass::Ethernet10G, "10GbE"),
+        (LinkClass::Wireless, "wireless"),
+        (LinkClass::Ethernet1G, "1GbE"),
+    ];
+    let mut flips = 0;
+    let mut prev: Option<bool> = None;
+    for (class, name) in links {
+        let spec = LinkSpec::default_for(class);
+        for (codec, cname) in [(&light, "light 4x"), (&heavy, "heavy 8x")] {
+            let t = decide(payload, codec, &spec, Objective::MinTime);
+            let e = decide(payload, codec, &spec, Objective::MinEnergy);
+            r.row([
+                name.to_string(),
+                format!("{payload}"),
+                cname.to_string(),
+                format!("{:.1} ms / {:.2} J", t.raw.time.as_secs_f64() * 1e3, t.raw.energy.joules()),
+                format!(
+                    "{:.1} ms / {:.2} J",
+                    t.compressed.time.as_secs_f64() * 1e3,
+                    t.compressed.energy.joules()
+                ),
+                if t.compress { "compress" } else { "raw" }.to_string(),
+                if e.compress { "compress" } else { "raw" }.to_string(),
+            ]);
+            if cname == "light 4x" {
+                if let Some(p) = prev {
+                    if p != t.compress {
+                        flips += 1;
+                    }
+                }
+                prev = Some(t.compress);
+            }
+        }
+    }
+    assert!(flips >= 1, "decision never flipped across link classes");
+    if let Some(bw) = time_crossover_bandwidth(&light) {
+        r.note(format!("light-codec time crossover at ~{:.2} GB/s link bandwidth", bw / 1e9));
+    }
+    if let Some(bw) = time_crossover_bandwidth(&heavy) {
+        r.note(format!("heavy-codec time crossover at ~{:.3} GB/s link bandwidth", bw / 1e9));
+    }
+    r.note("fast links ship raw, slow links compress — matching the paper's case-by-case argument");
+    r
+}

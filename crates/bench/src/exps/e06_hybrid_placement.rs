@@ -1,0 +1,50 @@
+//! E6 — hybrid operators: init/finish on CPU, work() on the
+//! co-processor (§III/§IV.B, refs [9][16]).
+
+use crate::report::Report;
+use haec_energy::calibrate::KernelCosts;
+use haec_energy::machine::{CoprocSpec, MachineSpec};
+use haec_planner::placement::{choose_placement, PhasedOperator, Placement};
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E6",
+        "operator placement: CPU vs GPU-class co-processor",
+        "work() may move to the co-processor while init()/finish() stay on the CPU; pays only for compute-heavy operators and large inputs (§IV.B, [16])",
+    );
+    r.headers(["operator", "rows", "cpu", "hybrid", "decision"]);
+
+    let machine = MachineSpec::commodity_2013().with_coproc(CoprocSpec::kepler_gpu());
+    let costs = KernelCosts::default_2013();
+
+    let mut scan_ever_offloaded = false;
+    let mut complex_offloaded = false;
+    for rows in [1_000_000u64, 50_000_000, 500_000_000, 2_000_000_000] {
+        for (name, op) in [
+            ("scan-agg (4 cyc/row)", PhasedOperator::scan_aggregate(rows)),
+            ("mining (80 cyc/row)", PhasedOperator::complex_kernel(rows)),
+        ] {
+            let d = choose_placement(&machine, &costs, &op);
+            let h = d.hybrid_cost.expect("machine has a coproc");
+            r.row([
+                name.to_string(),
+                format!("{rows:.1e}"),
+                format!("{:.1} ms / {:.1} J", d.cpu_cost.time.as_secs_f64() * 1e3, d.cpu_cost.energy.joules()),
+                format!("{:.1} ms / {:.1} J", h.time.as_secs_f64() * 1e3, h.energy.joules()),
+                format!("{}", d.placement),
+            ]);
+            if name.starts_with("scan") && d.placement == Placement::HybridOffload {
+                scan_ever_offloaded = true;
+            }
+            if name.starts_with("mining") && rows >= 500_000_000 && d.placement == Placement::HybridOffload {
+                complex_offloaded = true;
+            }
+        }
+    }
+    assert!(!scan_ever_offloaded, "memory-bound scans must stay on the CPU (PCIe transfer dominates)");
+    assert!(complex_offloaded, "compute-bound kernels must offload at scale");
+    r.note("memory-bound scans never offload: PCIe transfer costs more than the scan itself (the known 2013 result)");
+    r.note("compute-intensive operators (itemset mining, [8]) cross over to the device at large inputs");
+    r
+}

@@ -1,0 +1,104 @@
+//! E10 — optimistic/multi-version concurrency vs locking for
+//! main-memory workloads (§III, ref [18]).
+
+use crate::report::{fmt_rate, Report};
+use haec_sim::rng::SimRng;
+use haec_txn::mvcc::{CcScheme, TxnManager};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Outcome {
+    committed: u64,
+    aborted: u64,
+    throughput: f64,
+}
+
+fn drive(scheme: CcScheme, threads: usize, keys: u64, zipf_theta: f64, txns_per_thread: u64) -> Outcome {
+    let mgr = Arc::new(TxnManager::new(scheme));
+    // Preload.
+    for k in 0..keys {
+        let mut t = mgr.begin();
+        t.write(k as i64, 0);
+        mgr.commit(t).expect("preload commits");
+    }
+    let preload_commits = mgr.committed();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let mgr = Arc::clone(&mgr);
+            std::thread::spawn(move || {
+                let mut rng = SimRng::seed(42 + tid as u64);
+                for _ in 0..txns_per_thread {
+                    let mut txn = mgr.begin();
+                    // Read-modify-write on 2 keys + 2 pure reads.
+                    let mut ok = true;
+                    for _ in 0..2 {
+                        let k = rng.zipf(keys, zipf_theta) as i64;
+                        match txn.read(&mgr, k) {
+                            Some(v) => txn.write(k, v + 1),
+                            None => {
+                                if txn.is_doomed() {
+                                    ok = false;
+                                    break;
+                                }
+                                txn.write(k, 1);
+                            }
+                        }
+                    }
+                    for _ in 0..2 {
+                        let k = rng.zipf(keys, zipf_theta) as i64;
+                        let _ = txn.read(&mgr, k);
+                        if txn.is_doomed() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let _ = mgr.commit(txn);
+                    } else {
+                        mgr.abort(txn);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let wall = start.elapsed();
+    let committed = mgr.committed() - preload_commits;
+    Outcome {
+        committed,
+        aborted: mgr.aborted(),
+        throughput: committed as f64 / wall.as_secs_f64(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E10",
+        "concurrency control under contention (read-modify-write mix)",
+        "optimistic, multi-version schemes avoid lock-based serialization for main-memory OLTP (§III, [18])",
+    );
+    r.headers(["scheme", "skew θ", "committed", "aborted", "throughput"]);
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let keys = 4096u64;
+    let per_thread = 10_000u64;
+    for theta in [0.0, 0.99] {
+        for scheme in [CcScheme::SnapshotIsolation, CcScheme::SerializableOcc, CcScheme::TwoPhaseLocking] {
+            let o = drive(scheme, threads, keys, theta, per_thread);
+            r.row([
+                format!("{scheme}"),
+                format!("{theta:.2}"),
+                format!("{}", o.committed),
+                format!("{}", o.aborted),
+                fmt_rate(o.throughput),
+            ]);
+        }
+    }
+    r.note(format!("{threads} worker threads, {keys} keys, {per_thread} txns/thread, 2 RMW + 2 reads per txn"));
+    r.note("skew raises aborts for every scheme; 2PL also aborts readers (no-wait), SI/OCC readers never block");
+    r
+}

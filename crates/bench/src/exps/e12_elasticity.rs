@@ -1,0 +1,55 @@
+//! E12 — "elasticity in the large": scale-out under a diurnal trace
+//! (§II, data-as-a-service).
+
+use crate::report::Report;
+use haec_energy::machine::MachineSpec;
+use haec_sched::elastic::{diurnal_trace, run_cluster_sim, Provisioning};
+use std::time::Duration;
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E12",
+        "cluster provisioning under a diurnal load (96 × 15-min steps)",
+        "data-as-a-service requires native elasticity in the large (§II); idle nodes waste the idle floor",
+    );
+    r.headers(["policy", "energy (kWh)", "SLA violations", "avg nodes", "trough/peak energy"]);
+
+    let machine = MachineSpec::commodity_2013();
+    let trace = diurnal_trace(96, 800.0);
+    let step = Duration::from_secs(900);
+    let cap = 100.0; // queries/s per node
+
+    let policies = [
+        Provisioning::Static(8),
+        Provisioning::Static(4),
+        Provisioning::Elastic { target_utilization: 0.85, min_nodes: 1, max_nodes: 8, boot_steps: 1 },
+        Provisioning::Elastic { target_utilization: 0.85, min_nodes: 1, max_nodes: 8, boot_steps: 4 },
+    ];
+    let mut static_peak_kwh = 0.0;
+    let mut elastic_kwh = 0.0;
+    for p in policies {
+        let out = run_cluster_sim(&machine, p, &trace, cap, step);
+        let kwh = out.energy.watt_hours() / 1000.0;
+        r.row([
+            format!("{p}"),
+            format!("{kwh:.2}"),
+            format!("{}", out.sla_violations),
+            format!("{:.1}", out.avg_nodes),
+            format!("{:.2}", out.trough_peak_energy_ratio),
+        ]);
+        match p {
+            Provisioning::Static(8) => static_peak_kwh = kwh,
+            Provisioning::Elastic { boot_steps: 1, .. } => elastic_kwh = kwh,
+            _ => {}
+        }
+    }
+    assert!(elastic_kwh < static_peak_kwh, "elasticity saved nothing");
+    r.note(format!(
+        "elastic provisioning saves {:.0}% energy vs peak-static with zero-to-few SLA violations",
+        (1.0 - elastic_kwh / static_peak_kwh) * 100.0
+    ));
+    r.note("slower node boot (4 steps) trades violations for the same energy — provisioning lag is the risk");
+    r.note("trough/peak energy ratio ≪ 1 means the cluster became energy-proportional");
+    r
+}

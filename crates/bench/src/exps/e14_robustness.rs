@@ -1,0 +1,43 @@
+//! E14 — robustness: hide failures, preserve the intermediates of
+//! long-running queries (§IV).
+
+use crate::report::Report;
+use haecdb::robust::{run_with_failures, RestartPolicy};
+
+/// Runs the experiment.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E14",
+        "failure recovery: full restart vs stage checkpointing",
+        "intermediate results of long-running queries must be preserved and reused for restarts (§IV)",
+    );
+    r.headers(["unit failure prob", "policy", "failures", "executed units", "wasted", "waste %"]);
+
+    // NOTE: full-restart completion probability is (1-p)^total_units —
+    // beyond p ≈ 3/total the classical discipline effectively *never*
+    // finishes (expected attempts explode as e^{p·units}). The sweep
+    // stays below that wall and the wall itself is the finding.
+    let stages = [2_000u64, 4_000, 3_000, 1_000];
+    for p in [0.0, 0.0001, 0.0003, 0.0008] {
+        let mut waste = [0.0f64; 2];
+        for (i, policy) in [RestartPolicy::FullRestart, RestartPolicy::Checkpoint].iter().enumerate() {
+            let rep = run_with_failures(&stages, p, *policy, 2013);
+            waste[i] = rep.waste_fraction();
+            r.row([
+                format!("{p:.4}"),
+                format!("{policy}"),
+                format!("{}", rep.failures),
+                format!("{}", rep.executed_units),
+                format!("{}", rep.wasted_units()),
+                format!("{:.1}%", rep.waste_fraction() * 100.0),
+            ]);
+        }
+        if p >= 0.0003 {
+            assert!(waste[1] < waste[0], "checkpointing must waste less at p={p}");
+        }
+    }
+    r.note("at realistic failure rates, full restart re-executes whole pipelines; checkpoints bound waste to one stage");
+    r.note("checkpointing costs a 5% overhead even when nothing fails — the trade-off for short queries");
+    r.note("past p ≈ 3/total-units, full restart's completion probability collapses (e^{-p·units}): long queries NEED checkpoints");
+    r
+}

@@ -1,0 +1,21 @@
+//! # haec-bench
+//!
+//! The benchmark harness of the `haecdb` reproduction of *Lehner,
+//! "Energy-Efficient In-Memory Database Computing" (DATE 2013)*.
+//!
+//! The paper has no measured tables (it is an invited vision paper);
+//! DESIGN.md defines experiments E1–E16 that quantify each of its
+//! figures and falsifiable claims. Each experiment lives in [`exps`] and
+//! produces a [`report::Report`]; the `experiments` binary prints them:
+//!
+//! ```text
+//! cargo run -p haec-bench --release --bin experiments
+//! ```
+//!
+//! Criterion microbenchmarks over the hot kernels back the measured
+//! columns: `cargo bench -p haec-bench`.
+
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod report;

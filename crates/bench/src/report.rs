@@ -1,0 +1,181 @@
+//! Plain-text experiment reports: aligned tables with a title and notes,
+//! printed by the `experiments` binary and archived in EXPERIMENTS.md.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One experiment's output table.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id, e.g. "E3".
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The paper hook being quantified.
+    pub claim: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form findings appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: &'static str, claim: &'static str) -> Self {
+        Report { id, title, claim, headers: Vec::new(), rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Sets the header row.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<I, S>(&mut self, row: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a finding note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "   claim: {}", self.claim)?;
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            write!(f, "   ")?;
+            for (i, cell) in row.iter().enumerate() {
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                write!(f, "{cell}{:pad$}  ", "")?;
+            }
+            writeln!(f)
+        };
+        if !self.headers.is_empty() {
+            render(f, &self.headers)?;
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            render(f, &rule)?;
+        }
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "   -> {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Times a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+/// Formats joules in adaptive units.
+pub fn fmt_joules(j: f64) -> String {
+    if j >= 1.0 {
+        format!("{j:.2} J")
+    } else if j >= 1e-3 {
+        format!("{:.2} mJ", j * 1e3)
+    } else {
+        format!("{:.2} µJ", j * 1e6)
+    }
+}
+
+/// Formats a rate with thousands grouping-ish precision.
+pub fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} k/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} /s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("E0", "demo", "claim text");
+        r.headers(["a", "long-header"]);
+        r.row(["1", "2"]);
+        r.row(["300000", "4"]);
+        r.note("done");
+        let s = format!("{r}");
+        assert!(s.contains("E0 — demo"));
+        assert!(s.contains("claim text"));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("-> done"));
+        // Alignment: both data rows have the same rendered width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with("   1") || l.starts_with("   3")).collect();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(fmt_dur(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_dur(Duration::from_micros(7)), "7.00 µs");
+        assert_eq!(fmt_dur(Duration::from_nanos(9)), "9 ns");
+        assert_eq!(fmt_joules(2.5), "2.50 J");
+        assert_eq!(fmt_joules(0.0025), "2.50 mJ");
+        assert_eq!(fmt_joules(2.5e-6), "2.50 µJ");
+        assert_eq!(fmt_rate(2.5e9), "2.50 G/s");
+        assert_eq!(fmt_rate(2.5e6), "2.50 M/s");
+        assert_eq!(fmt_rate(2500.0), "2.50 k/s");
+        assert_eq!(fmt_rate(25.0), "25.0 /s");
+    }
+
+    #[test]
+    fn time_it_returns_value() {
+        let (v, d) = time_it(|| 42);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+}

@@ -1,0 +1,207 @@
+//! Dictionary-encoded string columns.
+//!
+//! Strings are stored once in an order-preserving-insertion dictionary;
+//! the column itself is a vector of `u32` codes, so scans, joins and
+//! group-bys on strings run at integer speed — the standard column-store
+//! design the paper's in-memory premise builds on.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A string column as (dictionary, codes).
+///
+/// ```
+/// use haec_columnar::dict::DictColumn;
+/// let mut c = DictColumn::new();
+/// c.push("de");
+/// c.push("us");
+/// c.push("de");
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.dict_size(), 2);
+/// assert_eq!(c.get(2), Some("de"));
+/// ```
+#[derive(Clone, Default, PartialEq)]
+pub struct DictColumn {
+    dict: Vec<String>,
+    lookup: HashMap<String, u32>,
+    codes: Vec<u32>,
+}
+
+impl DictColumn {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        DictColumn::default()
+    }
+
+    /// Creates a column from an iterator of strings.
+    pub fn from_iter<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut c = DictColumn::new();
+        for v in values {
+            c.push(v.as_ref());
+        }
+        c
+    }
+
+    /// Appends a value, interning it if unseen. Returns its code.
+    pub fn push(&mut self, value: &str) -> u32 {
+        let code = self.intern(value);
+        self.codes.push(code);
+        code
+    }
+
+    /// Interns `value` without appending a row; returns its code.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&c) = self.lookup.get(value) {
+            return c;
+        }
+        let c = u32::try_from(self.dict.len()).expect("dictionary exceeds u32 codes");
+        self.dict.push(value.to_string());
+        self.lookup.insert(value.to_string(), c);
+        c
+    }
+
+    /// The code for `value` if it was ever interned.
+    pub fn code_of(&self, value: &str) -> Option<u32> {
+        self.lookup.get(value).copied()
+    }
+
+    /// The string for a code.
+    pub fn decode(&self, code: u32) -> Option<&str> {
+        self.dict.get(code as usize).map(String::as_str)
+    }
+
+    /// The value at row `i`.
+    pub fn get(&self, i: usize) -> Option<&str> {
+        self.codes.get(i).and_then(|&c| self.decode(c))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of distinct values interned.
+    pub fn dict_size(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// The raw code vector (the integer view scans operate on).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Iterates over the row values.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        self.codes.iter().map(|&c| self.dict[c as usize].as_str())
+    }
+
+    /// Approximate heap footprint in bytes (codes + dictionary strings).
+    pub fn size_bytes(&self) -> usize {
+        let codes = self.codes.len() * std::mem::size_of::<u32>();
+        let strings: usize = self.dict.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum();
+        codes + strings
+    }
+}
+
+impl fmt::Debug for DictColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DictColumn({} rows, {} distinct)", self.codes.len(), self.dict.len())
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for DictColumn {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        DictColumn::from_iter(iter)
+    }
+}
+
+impl<'a> Extend<&'a str> for DictColumn {
+    fn extend<I: IntoIterator<Item = &'a str>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut c = DictColumn::new();
+        assert!(c.is_empty());
+        c.push("a");
+        c.push("b");
+        c.push("a");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dict_size(), 2);
+        assert_eq!(c.get(0), Some("a"));
+        assert_eq!(c.get(1), Some("b"));
+        assert_eq!(c.get(2), Some("a"));
+        assert_eq!(c.get(3), None);
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        let mut c = DictColumn::new();
+        let a1 = c.push("x");
+        let b = c.push("y");
+        let a2 = c.push("x");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(c.codes(), &[a1, b, a1]);
+    }
+
+    #[test]
+    fn code_of_and_decode() {
+        let c: DictColumn = ["p", "q"].into_iter().collect();
+        let p = c.code_of("p").unwrap();
+        assert_eq!(c.decode(p), Some("p"));
+        assert_eq!(c.code_of("zz"), None);
+        assert_eq!(c.decode(99), None);
+    }
+
+    #[test]
+    fn iter_round_trip() {
+        let values = ["de", "us", "fr", "de", "de"];
+        let c = DictColumn::from_iter(values);
+        let out: Vec<&str> = c.iter().collect();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut c = DictColumn::new();
+        c.extend(["a", "b"]);
+        c.extend(["b", "c"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.dict_size(), 3);
+    }
+
+    #[test]
+    fn size_accounts_for_dedup() {
+        let mut many_distinct = DictColumn::new();
+        let mut few_distinct = DictColumn::new();
+        for i in 0..1000 {
+            many_distinct.push(&format!("value-{i}"));
+            few_distinct.push(&format!("value-{}", i % 4));
+        }
+        assert!(few_distinct.size_bytes() < many_distinct.size_bytes() / 2);
+    }
+
+    #[test]
+    fn debug_format() {
+        let c = DictColumn::from_iter(["a", "a"]);
+        assert_eq!(format!("{c:?}"), "DictColumn(2 rows, 1 distinct)");
+    }
+}

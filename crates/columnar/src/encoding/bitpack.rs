@@ -1,0 +1,188 @@
+//! Fixed-width bit packing of `u64` values — the primitive under
+//! frame-of-reference and delta encoding.
+
+/// A packed array of `len` values, each `width` bits wide.
+///
+/// `width == 0` encodes the all-zeros array in zero data words, the
+/// common case for constant columns after frame-of-reference shifting.
+///
+/// ```
+/// use haec_columnar::encoding::bitpack::BitPacked;
+/// let p = BitPacked::pack(&[3, 0, 7, 5], 3);
+/// assert_eq!(p.get(2), 7);
+/// assert_eq!(p.unpack(), vec![3, 0, 7, 5]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitPacked {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl BitPacked {
+    /// Packs `values` at `width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`, or if any value needs more than `width`
+    /// bits.
+    pub fn pack(values: &[u64], width: u32) -> Self {
+        assert!(width <= 64, "width must be <= 64");
+        if width == 0 {
+            assert!(values.iter().all(|&v| v == 0), "width 0 requires all-zero values");
+            return BitPacked { words: Vec::new(), width, len: values.len() };
+        }
+        if width < 64 {
+            let limit = 1u64 << width;
+            assert!(
+                values.iter().all(|&v| v < limit),
+                "value does not fit in {width} bits"
+            );
+        }
+        let total_bits = values.len() * width as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            let bit = i * width as usize;
+            let (w, off) = (bit / 64, (bit % 64) as u32);
+            words[w] |= v << off;
+            let spill = off + width;
+            if spill > 64 {
+                words[w + 1] |= v >> (64 - off);
+            }
+        }
+        BitPacked { words, width, len: values.len() }
+    }
+
+    /// The minimal width able to represent `max`.
+    pub fn width_for(max: u64) -> u32 {
+        64 - max.leading_zeros()
+    }
+
+    /// Number of packed values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no values are packed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured bit width.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Random access to value `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        if self.width == 0 {
+            return 0;
+        }
+        let width = self.width;
+        let bit = i * width as usize;
+        let (w, off) = (bit / 64, (bit % 64) as u32);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mut v = self.words[w] >> off;
+        let spill = off + width;
+        if spill > 64 {
+            v |= self.words[w + 1] << (64 - off);
+        }
+        v & mask
+    }
+
+    /// Unpacks everything into a fresh vector.
+    pub fn unpack(&self) -> Vec<u64> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Payload size in bytes (words only; excludes the struct header).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        for width in [1u32, 3, 7, 8, 13, 31, 33, 63, 64] {
+            let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> = (0..200u64).map(|i| (i * 2_654_435_761) % (max.saturating_add(1)).max(1)).collect();
+            let values: Vec<u64> = values.iter().map(|&v| if width == 64 { v } else { v & max }).collect();
+            let p = BitPacked::pack(&values, width);
+            assert_eq!(p.unpack(), values, "width {width}");
+            assert_eq!(p.len(), 200);
+        }
+    }
+
+    #[test]
+    fn width_zero_all_zeros() {
+        let p = BitPacked::pack(&[0, 0, 0], 0);
+        assert_eq!(p.size_bytes(), 0);
+        assert_eq!(p.unpack(), vec![0, 0, 0]);
+        assert_eq!(p.get(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 0 requires all-zero")]
+    fn width_zero_nonzero_panics() {
+        let _ = BitPacked::pack(&[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_panics() {
+        let _ = BitPacked::pack(&[8], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        BitPacked::pack(&[1], 1).get(1);
+    }
+
+    #[test]
+    fn width_for_values() {
+        assert_eq!(BitPacked::width_for(0), 0);
+        assert_eq!(BitPacked::width_for(1), 1);
+        assert_eq!(BitPacked::width_for(7), 3);
+        assert_eq!(BitPacked::width_for(8), 4);
+        assert_eq!(BitPacked::width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn compression_is_real() {
+        let values: Vec<u64> = (0..1000).map(|i| i % 16).collect();
+        let p = BitPacked::pack(&values, 4);
+        // 4 bits * 1000 = 500 bytes, rounded up to whole u64 words.
+        assert_eq!(p.size_bytes(), 504);
+    }
+
+    #[test]
+    fn cross_word_boundary() {
+        // width 13: values straddle u64 boundaries regularly.
+        let values: Vec<u64> = (0..64).map(|i| (i * 97) % 8192).collect();
+        let p = BitPacked::pack(&values, 13);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(p.get(i), v, "index {i}");
+        }
+    }
+
+    #[test]
+    fn empty_pack() {
+        let p = BitPacked::pack(&[], 5);
+        assert!(p.is_empty());
+        assert_eq!(p.unpack(), Vec::<u64>::new());
+    }
+}

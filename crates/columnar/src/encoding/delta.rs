@@ -1,0 +1,220 @@
+//! Delta encoding: consecutive differences, zig-zag mapped and
+//! bit-packed, with periodic checkpoints for seekable access.
+//!
+//! Ideal for monotonically increasing keys (timestamps, surrogate ids)
+//! where deltas are tiny even though absolute values need 64 bits.
+
+use crate::encoding::bitpack::BitPacked;
+
+/// Checkpoint spacing: a decoded value is stored verbatim every this many
+/// rows so `get` is O(CHECKPOINT_EVERY) instead of O(n).
+pub const CHECKPOINT_EVERY: usize = 1024;
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A delta-encoded integer column.
+///
+/// ```
+/// use haec_columnar::encoding::delta::DeltaInts;
+/// let data: Vec<i64> = (0..100).map(|i| 1_600_000_000 + i * 30).collect();
+/// let e = DeltaInts::encode(&data);
+/// assert_eq!(e.decode(), data);
+/// assert!(e.size_bytes() < 100 * 8 / 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaInts {
+    /// Zig-zag deltas, bit-packed. deltas[i] = data[i+1] - data[i].
+    deltas: BitPacked,
+    /// data[k * CHECKPOINT_EVERY] for fast seeking; checkpoint 0 is the
+    /// first value.
+    checkpoints: Vec<i64>,
+    len: usize,
+}
+
+impl DeltaInts {
+    /// Encodes a slice.
+    pub fn encode(data: &[i64]) -> Self {
+        if data.is_empty() {
+            return DeltaInts { deltas: BitPacked::pack(&[], 0), checkpoints: Vec::new(), len: 0 };
+        }
+        let mut zz = Vec::with_capacity(data.len() - 1);
+        let mut checkpoints = Vec::with_capacity(data.len() / CHECKPOINT_EVERY + 1);
+        for (i, w) in data.windows(2).enumerate() {
+            let _ = i;
+            zz.push(zigzag(w[1].wrapping_sub(w[0])));
+        }
+        for (i, &v) in data.iter().enumerate() {
+            if i % CHECKPOINT_EVERY == 0 {
+                checkpoints.push(v);
+            }
+        }
+        let width = zz.iter().copied().max().map_or(0, BitPacked::width_for);
+        DeltaInts { deltas: BitPacked::pack(&zz, width), checkpoints, len: data.len() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed delta width in bits.
+    pub fn width(&self) -> u32 {
+        self.deltas.width()
+    }
+
+    /// Random access to row `i`, reconstructing from the nearest
+    /// checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> i64 {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        let ck = i / CHECKPOINT_EVERY;
+        let mut v = self.checkpoints[ck];
+        for d in ck * CHECKPOINT_EVERY..i {
+            v = v.wrapping_add(unzigzag(self.deltas.get(d)));
+        }
+        v
+    }
+
+    /// Decodes to a fresh vector (sequential, O(n)).
+    pub fn decode(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len);
+        if self.len == 0 {
+            return out;
+        }
+        let mut v = self.checkpoints[0];
+        out.push(v);
+        for i in 0..self.len - 1 {
+            v = v.wrapping_add(unzigzag(self.deltas.get(i)));
+            out.push(v);
+        }
+        out
+    }
+
+    /// Minimum and maximum over all rows (sequential pass).
+    pub fn min_max(&self) -> Option<(i64, i64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut v = self.checkpoints[0];
+        let mut min = v;
+        let mut max = v;
+        for i in 0..self.len - 1 {
+            v = v.wrapping_add(unzigzag(self.deltas.get(i)));
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some((min, max))
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.deltas.size_bytes() + self.checkpoints.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn round_trip_monotone() {
+        let data: Vec<i64> = (0..5000).map(|i| 1_000_000 + i * 17).collect();
+        let e = DeltaInts::encode(&data);
+        assert_eq!(e.decode(), data);
+    }
+
+    #[test]
+    fn round_trip_random_walk() {
+        let mut v = 0i64;
+        let data: Vec<i64> = (0..3000u64)
+            .map(|i| {
+                v = v.wrapping_add(((i.wrapping_mul(2_654_435_761)) % 2001) as i64 - 1000);
+                v
+            })
+            .collect();
+        let e = DeltaInts::encode(&data);
+        assert_eq!(e.decode(), data);
+    }
+
+    #[test]
+    fn get_uses_checkpoints() {
+        let data: Vec<i64> = (0..(CHECKPOINT_EVERY as i64 * 3 + 7)).map(|i| i * 3).collect();
+        let e = DeltaInts::encode(&data);
+        for &i in &[0usize, 1, CHECKPOINT_EVERY - 1, CHECKPOINT_EVERY, CHECKPOINT_EVERY + 1, 2 * CHECKPOINT_EVERY + 500, data.len() - 1] {
+            assert_eq!(e.get(i), data[i], "row {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_oob_panics() {
+        DeltaInts::encode(&[1, 2]).get(2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = DeltaInts::encode(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.decode(), Vec::<i64>::new());
+        assert_eq!(e.min_max(), None);
+
+        let e = DeltaInts::encode(&[99]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.decode(), vec![99]);
+        assert_eq!(e.get(0), 99);
+        assert_eq!(e.min_max(), Some((99, 99)));
+    }
+
+    #[test]
+    fn min_max_non_monotone() {
+        let e = DeltaInts::encode(&[10, 5, 30, -2, 7]);
+        assert_eq!(e.min_max(), Some((-2, 30)));
+    }
+
+    #[test]
+    fn compresses_timestamps_hard() {
+        // Regular 1-second ticks: delta = 1 → 2 bits zig-zagged.
+        let data: Vec<i64> = (0..100_000).map(|i| 1_600_000_000 + i).collect();
+        let e = DeltaInts::encode(&data);
+        let plain = data.len() * 8;
+        assert!(e.size_bytes() * 10 < plain, "{} vs {}", e.size_bytes(), plain);
+    }
+
+    #[test]
+    fn extreme_delta_values() {
+        let data = vec![i64::MIN, i64::MAX, 0, i64::MIN / 2];
+        let e = DeltaInts::encode(&data);
+        assert_eq!(e.decode(), data);
+    }
+}

@@ -1,0 +1,360 @@
+//! Lightweight compression schemes and the scheme-agnostic
+//! [`EncodedInts`] wrapper.
+//!
+//! The shipping-decision experiment (E3) and the compression
+//! microbenchmark (E16) both work through this module: encode a column,
+//! inspect the [`CompressionStats`], scan it without decompression.
+
+pub mod bitpack;
+pub mod delta;
+pub mod foref;
+pub mod rle;
+
+use crate::bitmap::Bitmap;
+use crate::value::CmpOp;
+use delta::DeltaInts;
+use foref::ForInts;
+use rle::RleInts;
+use std::fmt;
+
+/// The available integer encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Uncompressed `Vec<i64>`.
+    Plain,
+    /// Run-length encoding.
+    Rle,
+    /// Frame-of-reference bit packing.
+    For,
+    /// Delta + zig-zag bit packing.
+    Delta,
+}
+
+impl Scheme {
+    /// All schemes in canonical order.
+    pub const ALL: [Scheme; 4] = [Scheme::Plain, Scheme::Rle, Scheme::For, Scheme::Delta];
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scheme::Plain => "plain",
+            Scheme::Rle => "rle",
+            Scheme::For => "for",
+            Scheme::Delta => "delta",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An integer column in one of the supported encodings.
+///
+/// ```
+/// use haec_columnar::encoding::{EncodedInts, Scheme};
+/// let data = vec![5i64; 1000];
+/// let e = EncodedInts::auto(&data);
+/// assert_eq!(e.scheme(), Scheme::For); // constant data → width-0 FOR wins
+/// assert_eq!(e.decode(), data);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum EncodedInts {
+    /// Uncompressed.
+    Plain(Vec<i64>),
+    /// Run-length encoded.
+    Rle(RleInts),
+    /// Frame-of-reference encoded.
+    For(ForInts),
+    /// Delta encoded.
+    Delta(DeltaInts),
+}
+
+impl EncodedInts {
+    /// Encodes with an explicit scheme.
+    pub fn encode(data: &[i64], scheme: Scheme) -> Self {
+        match scheme {
+            Scheme::Plain => EncodedInts::Plain(data.to_vec()),
+            Scheme::Rle => EncodedInts::Rle(RleInts::encode(data)),
+            Scheme::For => EncodedInts::For(ForInts::encode(data)),
+            Scheme::Delta => EncodedInts::Delta(DeltaInts::encode(data)),
+        }
+    }
+
+    /// Encodes with every scheme and keeps the smallest — the
+    /// storage-layer default.
+    pub fn auto(data: &[i64]) -> Self {
+        Scheme::ALL
+            .iter()
+            .map(|&s| EncodedInts::encode(data, s))
+            .min_by_key(EncodedInts::size_bytes)
+            .expect("at least one scheme")
+    }
+
+    /// The scheme this column is encoded with.
+    pub fn scheme(&self) -> Scheme {
+        match self {
+            EncodedInts::Plain(_) => Scheme::Plain,
+            EncodedInts::Rle(_) => Scheme::Rle,
+            EncodedInts::For(_) => Scheme::For,
+            EncodedInts::Delta(_) => Scheme::Delta,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedInts::Plain(v) => v.len(),
+            EncodedInts::Rle(e) => e.len(),
+            EncodedInts::For(e) => e.len(),
+            EncodedInts::Delta(e) => e.len(),
+        }
+    }
+
+    /// Returns `true` if the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            EncodedInts::Plain(v) => v.len() * 8,
+            EncodedInts::Rle(e) => e.size_bytes(),
+            EncodedInts::For(e) => e.size_bytes(),
+            EncodedInts::Delta(e) => e.size_bytes(),
+        }
+    }
+
+    /// Random access to row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> i64 {
+        match self {
+            EncodedInts::Plain(v) => v[i],
+            EncodedInts::Rle(e) => e.get(i),
+            EncodedInts::For(e) => e.get(i),
+            EncodedInts::Delta(e) => e.get(i),
+        }
+    }
+
+    /// Decodes to a fresh vector.
+    pub fn decode(&self) -> Vec<i64> {
+        match self {
+            EncodedInts::Plain(v) => v.clone(),
+            EncodedInts::Rle(e) => e.decode(),
+            EncodedInts::For(e) => e.decode(),
+            EncodedInts::Delta(e) => e.decode(),
+        }
+    }
+
+    /// Evaluates `value op literal` into `out`. RLE and FOR run directly
+    /// on compressed data; plain compares in place; delta decodes
+    /// streamingly without materializing the column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn scan(&self, op: CmpOp, literal: i64, out: &mut Bitmap) {
+        assert_eq!(out.len(), self.len(), "output bitmap length mismatch");
+        match self {
+            EncodedInts::Plain(v) => {
+                let mut word = 0u64;
+                let mut word_idx = 0;
+                for (i, &x) in v.iter().enumerate() {
+                    word |= (op.eval(x, literal) as u64) << (i % 64);
+                    if i % 64 == 63 {
+                        out.set_word(word_idx, word);
+                        word = 0;
+                        word_idx += 1;
+                    }
+                }
+                if v.len() % 64 != 0 {
+                    out.set_word(word_idx, word);
+                }
+            }
+            EncodedInts::Rle(e) => e.scan(op, literal, out),
+            EncodedInts::For(e) => e.scan(op, literal, out),
+            EncodedInts::Delta(e) => {
+                // Streaming decode; no intermediate Vec.
+                let data = e.decode();
+                for (i, &x) in data.iter().enumerate() {
+                    if op.eval(x, literal) {
+                        out.set(i, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Minimum and maximum over all rows.
+    pub fn min_max(&self) -> Option<(i64, i64)> {
+        match self {
+            EncodedInts::Plain(v) => {
+                let min = v.iter().copied().min()?;
+                let max = v.iter().copied().max()?;
+                Some((min, max))
+            }
+            EncodedInts::Rle(e) => e.min_max(),
+            EncodedInts::For(e) => e.min_max(),
+            EncodedInts::Delta(e) => e.min_max(),
+        }
+    }
+
+    /// Compression statistics relative to plain encoding.
+    pub fn stats(&self) -> CompressionStats {
+        let raw = self.len() * 8;
+        CompressionStats {
+            scheme: self.scheme(),
+            raw_bytes: raw,
+            encoded_bytes: self.size_bytes(),
+        }
+    }
+}
+
+/// Size accounting for one encoded column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// The encoding scheme.
+    pub scheme: Scheme,
+    /// Plain (8 B/row) size.
+    pub raw_bytes: usize,
+    /// Encoded size.
+    pub encoded_bytes: usize,
+}
+
+impl CompressionStats {
+    /// Compression ratio (>1 means smaller than plain).
+    pub fn ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            if self.raw_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.raw_bytes as f64 / self.encoded_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for CompressionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {} bytes ({:.2}x)", self.scheme, self.raw_bytes, self.encoded_bytes, self.ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn datasets() -> Vec<(&'static str, Vec<i64>)> {
+        vec![
+            ("constant", vec![7; 777]),
+            ("sorted-runs", (0..1000).map(|i| i / 50).collect()),
+            ("narrow-range", (0..1000).map(|i| 10_000 + (i * 37) % 64).collect()),
+            ("timestamps", (0..1000).map(|i| 1_600_000_000 + i * 30).collect()),
+            ("random-ish", (0..1000).map(|i: i64| i.wrapping_mul(2_654_435_761) ^ (i << 13)).collect()),
+            ("empty", vec![]),
+            ("negatives", (-500..500).collect()),
+        ]
+    }
+
+    #[test]
+    fn all_schemes_round_trip_all_datasets() {
+        for (name, data) in datasets() {
+            for scheme in Scheme::ALL {
+                let e = EncodedInts::encode(&data, scheme);
+                assert_eq!(e.decode(), data, "{name} / {scheme}");
+                assert_eq!(e.len(), data.len(), "{name} / {scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_smallest() {
+        for (name, data) in datasets() {
+            let auto = EncodedInts::auto(&data);
+            for scheme in Scheme::ALL {
+                let e = EncodedInts::encode(&data, scheme);
+                assert!(
+                    auto.size_bytes() <= e.size_bytes(),
+                    "{name}: auto({}) {} > {scheme} {}",
+                    auto.scheme(),
+                    auto.size_bytes(),
+                    e.size_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_prefers_expected_schemes() {
+        // Constant data: width-0 frame-of-reference stores just the
+        // reference (8 bytes), beating even a single RLE run.
+        assert_eq!(EncodedInts::auto(&vec![3i64; 1000]).scheme(), Scheme::For);
+        // Large-magnitude ticking timestamps: only delta gets them small.
+        let ts: Vec<i64> = (0..10_000).map(|i| 1_600_000_000_000 + i).collect();
+        assert_eq!(EncodedInts::auto(&ts).scheme(), Scheme::Delta);
+        // Low-cardinality long runs with large spread: RLE wins.
+        let runs: Vec<i64> = (0..10_000).map(|i| ((i / 1000) * 1_000_000_007) % 97).collect();
+        assert_eq!(EncodedInts::auto(&runs).scheme(), Scheme::Rle);
+    }
+
+    #[test]
+    fn scan_agrees_across_schemes() {
+        for (name, data) in datasets() {
+            if data.is_empty() {
+                continue;
+            }
+            let lit = data[data.len() / 2];
+            for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                let reference = Bitmap::from_bools(&data.iter().map(|&v| op.eval(v, lit)).collect::<Vec<_>>());
+                for scheme in Scheme::ALL {
+                    let e = EncodedInts::encode(&data, scheme);
+                    let mut got = Bitmap::zeros(data.len());
+                    e.scan(op, lit, &mut got);
+                    assert_eq!(got, reference, "{name} / {scheme} / {op}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_agrees() {
+        for (name, data) in datasets() {
+            let want = data.iter().copied().min().zip(data.iter().copied().max());
+            for scheme in Scheme::ALL {
+                let e = EncodedInts::encode(&data, scheme);
+                assert_eq!(e.min_max(), want, "{name} / {scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn get_agrees() {
+        for (name, data) in datasets() {
+            for scheme in Scheme::ALL {
+                let e = EncodedInts::encode(&data, scheme);
+                for i in (0..data.len()).step_by(97.max(data.len() / 13).max(1)) {
+                    assert_eq!(e.get(i), data[i], "{name} / {scheme} / row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_ratio() {
+        let e = EncodedInts::encode(&vec![1i64; 1000], Scheme::Rle);
+        let s = e.stats();
+        assert!(s.ratio() > 100.0);
+        assert!(format!("{s}").contains("rle"));
+        let empty = EncodedInts::encode(&[], Scheme::Plain).stats();
+        assert_eq!(empty.ratio(), 1.0);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(format!("{}", Scheme::For), "for");
+    }
+}

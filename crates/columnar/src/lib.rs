@@ -1,0 +1,58 @@
+//! # haec-columnar
+//!
+//! In-memory columnar storage with lightweight compression — the storage
+//! substrate of the `haecdb` reproduction of *Lehner, "Energy-Efficient
+//! In-Memory Database Computing" (DATE 2013)*.
+//!
+//! The paper's premise is a main-memory column store ("main memory is
+//! the new disk, cache lines are the new blocks"). This crate provides:
+//!
+//! * typed [`column::Column`]s and record [`chunk::Chunk`]s,
+//! * dictionary-encoded strings ([`dict::DictColumn`]),
+//! * packed [`bitmap::Bitmap`] selection vectors (the 64-lane SIMD
+//!   stand-in used throughout the engine),
+//! * lightweight integer compression ([`encoding`]): RLE,
+//!   frame-of-reference bit packing and delta encoding, all supporting
+//!   predicate evaluation **directly on compressed data** — the property
+//!   the paper's compressed-shipping optimizer decision (E3) relies on.
+//!
+//! ## Example
+//!
+//! ```
+//! use haec_columnar::prelude::*;
+//!
+//! // Encode a sorted key column, scan it without decompressing.
+//! let keys: Vec<i64> = (0..10_000).collect();
+//! let encoded = EncodedInts::auto(&keys);
+//! assert!(encoded.stats().ratio() > 4.0);
+//! let mut hits = Bitmap::zeros(keys.len());
+//! encoded.scan(CmpOp::Lt, 100, &mut hits);
+//! assert_eq!(hits.count_ones(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitmap;
+pub mod chunk;
+pub mod column;
+pub mod dict;
+pub mod encoding;
+pub mod value;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::bitmap::Bitmap;
+    pub use crate::chunk::{Chunk, ChunkError};
+    pub use crate::column::{Column, ColumnStats, TypeMismatchError};
+    pub use crate::dict::DictColumn;
+    pub use crate::encoding::{CompressionStats, EncodedInts, Scheme};
+    pub use crate::value::{CmpOp, DataType, Value};
+}
+
+pub use bitmap::Bitmap;
+pub use chunk::Chunk;
+pub use column::Column;
+pub use dict::DictColumn;
+pub use encoding::{EncodedInts, Scheme};
+pub use value::{CmpOp, DataType, Value};

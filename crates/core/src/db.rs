@@ -1,0 +1,741 @@
+//! The `haecdb` facade: tables, indexes, and the energy-metered query
+//! path.
+//!
+//! Every query is planned with the dual-objective cost model (index vs
+//! scan per the session [`Goal`]), executed with the adaptive vectorized
+//! kernels, and charged to the database's [`EnergyMeter`] — making
+//! "energy per query" a first-class observable, as the paper demands.
+
+use crate::error::{DbError, DbResult};
+use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
+use crate::schema::{Record, TableSchema};
+use crate::table::Table;
+use haec_columnar::chunk::Chunk;
+use haec_columnar::column::Column;
+use haec_columnar::value::{CmpOp, DataType, Value};
+use haec_energy::calibrate::{Kernel, KernelCosts};
+use haec_energy::machine::MachineSpec;
+use haec_energy::meter::EnergyMeter;
+use haec_energy::profile::{CostEstimator, ExecutionContext, ResourceProfile};
+use haec_energy::units::{ByteCount, Joules};
+use haec_exec::agg::{group_aggregate, AggKind, AggState};
+use haec_exec::morsel::parallel_morsels;
+use haec_exec::select::{select_metered, select_positions, SelectKernel};
+use haec_planner::access::{choose_access, AccessPath};
+use haec_planner::cost::CostModel;
+use haec_planner::optimizer::{choose, Goal};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One conjunct of a query's WHERE clause (integer columns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Filter {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal operand.
+    pub literal: i64,
+}
+
+/// An equality predicate on a dictionary-encoded string column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrFilter {
+    /// Column name.
+    pub column: String,
+    /// The value rows must equal (`negated` flips to `<>`).
+    pub value: String,
+    /// `true` for `<>`, `false` for `=`.
+    pub negated: bool,
+}
+
+/// A declarative query against one table.
+///
+/// ```
+/// use haecdb::db::Query;
+/// use haec_columnar::value::CmpOp;
+/// use haec_exec::agg::AggKind;
+/// let q = Query::scan("orders")
+///     .filter("amount", CmpOp::Ge, 100)
+///     .filter_str_eq("country", "de")
+///     .group_by("region")
+///     .aggregate(AggKind::Sum, "amount");
+/// assert_eq!(q.table(), "orders");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    table: String,
+    filters: Vec<Filter>,
+    str_filters: Vec<StrFilter>,
+    group_by: Option<String>,
+    agg: Option<(AggKind, String)>,
+    select: Option<Vec<String>>,
+}
+
+impl Query {
+    /// Starts a query over `table`.
+    pub fn scan(table: impl Into<String>) -> Self {
+        Query {
+            table: table.into(),
+            filters: Vec::new(),
+            str_filters: Vec::new(),
+            group_by: None,
+            agg: None,
+            select: None,
+        }
+    }
+
+    /// Adds a conjunctive integer predicate.
+    pub fn filter(mut self, column: impl Into<String>, op: CmpOp, literal: i64) -> Self {
+        self.filters.push(Filter { column: column.into(), op, literal });
+        self
+    }
+
+    /// Adds a conjunctive string-equality predicate (evaluated on
+    /// dictionary codes, never on the strings themselves).
+    pub fn filter_str_eq(mut self, column: impl Into<String>, value: impl Into<String>) -> Self {
+        self.str_filters.push(StrFilter { column: column.into(), value: value.into(), negated: false });
+        self
+    }
+
+    /// Adds a conjunctive string-inequality predicate.
+    pub fn filter_str_ne(mut self, column: impl Into<String>, value: impl Into<String>) -> Self {
+        self.str_filters.push(StrFilter { column: column.into(), value: value.into(), negated: true });
+        self
+    }
+
+    /// Groups by an integer column.
+    pub fn group_by(mut self, column: impl Into<String>) -> Self {
+        self.group_by = Some(column.into());
+        self
+    }
+
+    /// Aggregates `column` with `kind`.
+    pub fn aggregate(mut self, kind: AggKind, column: impl Into<String>) -> Self {
+        self.agg = Some((kind, column.into()));
+        self
+    }
+
+    /// Restricts output columns (ignored when aggregating).
+    pub fn select<I, S>(mut self, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.select = Some(columns.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// The queried table.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+}
+
+/// Row-count threshold above which filters run morsel-parallel on real
+/// threads instead of single-threaded.
+pub const PARALLEL_SCAN_ROWS: usize = 262_144;
+
+/// The outcome of a query: rows plus full metering.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The result rows.
+    pub rows: Chunk,
+    /// Modelled energy charged for this query.
+    pub energy: Joules,
+    /// Modelled execution time.
+    pub modeled_time: Duration,
+    /// Measured wall time of the real execution.
+    pub wall_time: Duration,
+    /// The access path taken for the first indexable predicate.
+    pub access_path: Option<AccessPath>,
+}
+
+/// The in-memory, energy-metered database.
+///
+/// ```
+/// use haecdb::prelude::*;
+///
+/// let mut db = Database::new();
+/// db.create_table("t", &[("k", DataType::Int64), ("v", DataType::Int64)])?;
+/// db.insert("t", &Record::new().with("k", 1i64).with("v", 10i64))?;
+/// db.insert("t", &Record::new().with("k", 2i64).with("v", 20i64))?;
+/// let out = db.execute(&Query::scan("t").filter("v", CmpOp::Gt, 15))?;
+/// assert_eq!(out.rows.rows(), 1);
+/// assert!(out.energy.joules() > 0.0);
+/// # Ok::<(), haecdb::error::DbError>(())
+/// ```
+#[derive(Debug)]
+pub struct Database {
+    machine: MachineSpec,
+    estimator: CostEstimator,
+    costs: KernelCosts,
+    meter: EnergyMeter,
+    tables: HashMap<String, Table>,
+    indexes: HashMap<(String, String), SecondaryIndex>,
+    goal: Goal,
+}
+
+impl Database {
+    /// Creates a database on the default 2013 commodity machine model.
+    pub fn new() -> Self {
+        Database::with_machine(MachineSpec::commodity_2013())
+    }
+
+    /// Creates a database over an explicit machine model.
+    pub fn with_machine(machine: MachineSpec) -> Self {
+        Database {
+            estimator: CostEstimator::new(machine.clone()),
+            machine,
+            costs: KernelCosts::default_2013(),
+            meter: EnergyMeter::new(),
+            tables: HashMap::new(),
+            indexes: HashMap::new(),
+            goal: Goal::MinTime,
+        }
+    }
+
+    /// Sets the session optimization goal (Fig. 2's knob).
+    pub fn set_goal(&mut self, goal: Goal) {
+        self.goal = goal;
+    }
+
+    /// The session goal.
+    pub fn goal(&self) -> Goal {
+        self.goal
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// The cumulative energy meter.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Creates a strict-schema table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] on name collisions.
+    pub fn create_table(&mut self, name: &str, columns: &[(&str, DataType)]) -> DbResult<()> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        let schema = TableSchema::strict(columns.iter().map(|(n, t)| (n.to_string(), *t)).collect());
+        self.tables.insert(name.to_string(), Table::new(name, schema));
+        Ok(())
+    }
+
+    /// Creates a flexible-schema ("data first") table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] on name collisions.
+    pub fn create_flexible_table(&mut self, name: &str) -> DbResult<()> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        self.tables.insert(name.to_string(), Table::new(name, TableSchema::flexible()));
+        Ok(())
+    }
+
+    /// Looks a table up.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Inserts one record, maintaining indexes per their discipline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema violations; unknown table is
+    /// [`DbError::NoSuchTable`].
+    pub fn insert(&mut self, table: &str, record: &Record) -> DbResult<()> {
+        let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let row = t.rows() as u32;
+        t.insert(record)?;
+        // Feed indexes on this table.
+        for ((tname, col), idx) in self.indexes.iter_mut() {
+            if tname == table {
+                if let Some(Value::Int(key)) = record.get(col) {
+                    idx.on_insert(*key, row);
+                }
+            }
+        }
+        // Charge ingestion: one materialize per field.
+        let profile = ResourceProfile {
+            cpu_cycles: self.costs.cycles_for(Kernel::Materialize, record.len() as u64),
+            dram_written: ByteCount::new(record.len() as u64 * 8),
+            ..ResourceProfile::default()
+        };
+        self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
+        Ok(())
+    }
+
+    /// Creates a hash index on an integer column, backfilling existing
+    /// rows under the chosen maintenance discipline.
+    ///
+    /// # Errors
+    ///
+    /// Unknown table/column errors.
+    pub fn create_index(&mut self, table: &str, column: &str, maintenance: IndexMaintenance) -> DbResult<()> {
+        let t = self.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let col = t.column(column).ok_or_else(|| DbError::NoSuchColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        })?;
+        let data = col.as_int64().ok_or_else(|| DbError::TypeMismatch {
+            column: column.to_string(),
+            expected: DataType::Int64,
+        })?;
+        let mut idx = SecondaryIndex::new(maintenance);
+        for (row, &key) in data.iter().enumerate() {
+            idx.on_insert(key, row as u32);
+        }
+        self.indexes.insert((table.to_string(), column.to_string()), idx);
+        Ok(())
+    }
+
+    /// Work counters of an index.
+    pub fn index_stats(&self, table: &str, column: &str) -> Option<IndexStats> {
+        self.indexes.get(&(table.to_string(), column.to_string())).map(|i| i.stats())
+    }
+
+    fn exec_ctx(&self) -> ExecutionContext {
+        ExecutionContext::parallel(self.machine.pstates().fastest(), self.machine.cores())
+    }
+
+    /// Executes a query, charging its energy to the meter.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tables/columns, type mismatches, and malformed queries.
+    pub fn execute(&mut self, query: &Query) -> DbResult<QueryResult> {
+        let started = std::time::Instant::now();
+        let t = self
+            .tables
+            .get(&query.table)
+            .ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
+        let total_rows = t.rows();
+        let mut profile = ResourceProfile::default();
+        let mut access_path = None;
+
+        // --- access path for the first filter -------------------------
+        let mut positions: Option<Vec<u32>> = None;
+        let mut remaining: &[Filter] = &query.filters;
+        if let Some(first) = query.filters.first() {
+            let key = (query.table.clone(), first.column.clone());
+            if self.indexes.contains_key(&key) && first.op == CmpOp::Eq {
+                // Cost both paths, pick per the session goal.
+                let mut meta = t.planner_meta();
+                if let Some(c) = meta.columns.iter_mut().find(|c| c.name == first.column) {
+                    c.indexed = true;
+                }
+                let model = CostModel::new(self.machine.clone()).with_kernel_costs(self.costs.clone());
+                let decision = choose_access(&model, &meta, &first.column, first.op, first.literal);
+                let candidates = [
+                    decision.scan_cost,
+                    decision.index_cost.unwrap_or(decision.scan_cost),
+                ];
+                let planner_costs = [
+                    haec_planner::cost::PlanCost { time: candidates[0].time, energy: candidates[0].energy },
+                    haec_planner::cost::PlanCost { time: candidates[1].time, energy: candidates[1].energy },
+                ];
+                let pick = choose(&planner_costs, self.goal).unwrap_or(0);
+                if pick == 1 && decision.index_cost.is_some() {
+                    let idx = self.indexes.get_mut(&key).expect("checked above");
+                    let mut rows = idx.lookup(first.literal);
+                    rows.sort_unstable();
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::IndexLookup, rows.len().max(1) as u64);
+                    profile.dram_read += ByteCount::new(rows.len() as u64 * 128 + 128);
+                    positions = Some(rows);
+                    access_path = Some(AccessPath::IndexLookup);
+                    remaining = &query.filters[1..];
+                } else {
+                    access_path = Some(AccessPath::FullScan);
+                }
+            }
+        }
+        let t = self.tables.get(&query.table).expect("still present");
+
+        // --- remaining filters: vectorized scans (or point re-checks) --
+        for f in remaining {
+            let col = t.column(&f.column).ok_or_else(|| DbError::NoSuchColumn {
+                table: query.table.clone(),
+                column: f.column.clone(),
+            })?;
+            let data = col.as_int64().ok_or_else(|| DbError::TypeMismatch {
+                column: f.column.clone(),
+                expected: DataType::Int64,
+            })?;
+            match &mut positions {
+                Some(pos) if pos.len() * 8 < total_rows => {
+                    // Few candidates: re-check per position.
+                    pos.retain(|&p| f.op.eval(data[p as usize], f.literal));
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::SelectPredicated, pos.len() as u64);
+                    profile.dram_read += ByteCount::new(pos.len() as u64 * 8);
+                }
+                _ => {
+                    let hits = if data.len() >= PARALLEL_SCAN_ROWS {
+                        // Morsel-driven parallel scan over real threads.
+                        let threads = std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                            .min(self.machine.cores());
+                        let mut parts = parallel_morsels(
+                            data.len(),
+                            threads,
+                            64 * 1024,
+                            |m| {
+                                let local = select_positions(&data[m.start..m.end], f.op, f.literal, SelectKernel::Bitwise);
+                                vec![(m.start, local)]
+                            },
+                            |mut a, b| {
+                                a.extend(b);
+                                a
+                            },
+                            Vec::new(),
+                        );
+                        parts.sort_unstable_by_key(|&(start, _)| start);
+                        let mut out = Vec::new();
+                        for (start, local) in parts {
+                            out.extend(local.into_iter().map(|p| p + start as u32));
+                        }
+                        profile.cpu_cycles += self.costs.cycles_for(Kernel::SelectBitwise, data.len() as u64);
+                        profile.dram_read += ByteCount::new(data.len() as u64 * 8);
+                        out
+                    } else {
+                        let (hits, stats) = select_metered(data, f.op, f.literal, SelectKernel::Bitwise, &self.costs);
+                        profile += stats.profile;
+                        hits
+                    };
+                    positions = Some(match positions.take() {
+                        None => hits,
+                        Some(prev) => haec_exec::select::intersect_positions(&prev, &hits),
+                    });
+                }
+            }
+        }
+
+        // --- string predicates: evaluated on dictionary codes ----------
+        for f in &query.str_filters {
+            let col = t.column(&f.column).ok_or_else(|| DbError::NoSuchColumn {
+                table: query.table.clone(),
+                column: f.column.clone(),
+            })?;
+            let dict = col.as_str().ok_or_else(|| DbError::TypeMismatch {
+                column: f.column.clone(),
+                expected: DataType::Str,
+            })?;
+            let code = dict.code_of(&f.value);
+            let codes = dict.codes();
+            profile.cpu_cycles += self.costs.cycles_for(Kernel::SelectBitwise, codes.len() as u64);
+            profile.dram_read += ByteCount::new(codes.len() as u64 * 4);
+            let keep = |row: usize| -> bool {
+                match code {
+                    Some(c) => (codes[row] == c) != f.negated,
+                    // Value never interned: `=` matches nothing, `<>` everything.
+                    None => f.negated,
+                }
+            };
+            positions = Some(match positions.take() {
+                Some(mut pos) => {
+                    pos.retain(|&p| keep(p as usize));
+                    pos
+                }
+                None => (0..codes.len()).filter(|&i| keep(i)).map(|i| i as u32).collect(),
+            });
+        }
+
+        // --- aggregation / projection ---------------------------------
+        let out = match (&query.group_by, &query.agg) {
+            (Some(_), None) => {
+                return Err(DbError::BadQuery("group_by requires an aggregate".into()))
+            }
+            (None, None) => {
+                let pos_vec: Vec<usize> = match &positions {
+                    Some(p) => p.iter().map(|&x| x as usize).collect(),
+                    None => (0..total_rows).collect(),
+                };
+                let chunk = t.to_chunk();
+                let gathered = chunk.gather(&pos_vec);
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::Materialize, pos_vec.len() as u64);
+                profile.dram_written += ByteCount::new(gathered.size_bytes() as u64);
+                match &query.select {
+                    None => gathered,
+                    Some(cols) => {
+                        let mut selected = Vec::with_capacity(cols.len());
+                        for c in cols {
+                            let col = gathered.column(c).ok_or_else(|| DbError::NoSuchColumn {
+                                table: query.table.clone(),
+                                column: c.clone(),
+                            })?;
+                            selected.push((c.clone(), col.clone()));
+                        }
+                        Chunk::new(selected).expect("gathered columns are equal length")
+                    }
+                }
+            }
+            (group, Some((kind, value_col))) => {
+                let values = int_column(t, &query.table, value_col)?;
+                let gathered_values: Vec<i64> = match &positions {
+                    Some(p) => p.iter().map(|&i| values[i as usize]).collect(),
+                    None => values.to_vec(),
+                };
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, gathered_values.len() as u64);
+                profile.dram_read += ByteCount::new(gathered_values.len() as u64 * 8);
+                match group {
+                    None => {
+                        let mut st = AggState::empty();
+                        for &v in &gathered_values {
+                            st.update(v);
+                        }
+                        let result = st.value(*kind).unwrap_or(f64::NAN);
+                        Chunk::new(vec![(
+                            format!("{kind}({value_col})"),
+                            vec![result].into_iter().collect::<Column>(),
+                        )])
+                        .expect("one column")
+                    }
+                    Some(gcol) => {
+                        let keys = int_column(t, &query.table, gcol)?;
+                        let gathered_keys: Vec<i64> = match &positions {
+                            Some(p) => p.iter().map(|&i| keys[i as usize]).collect(),
+                            None => keys.to_vec(),
+                        };
+                        profile.cpu_cycles +=
+                            self.costs.cycles_for(Kernel::HashProbe, gathered_keys.len() as u64);
+                        let grouped = group_aggregate(&gathered_keys, &gathered_values);
+                        let key_col: Column =
+                            grouped.iter().map(|&(k, _)| k).collect::<Vec<i64>>().into_iter().collect();
+                        let val_col: Column = grouped
+                            .iter()
+                            .map(|(_, s)| s.value(*kind).unwrap_or(f64::NAN))
+                            .collect::<Vec<f64>>()
+                            .into_iter()
+                            .collect();
+                        Chunk::new(vec![(gcol.clone(), key_col), (format!("{kind}({value_col})"), val_col)])
+                            .expect("two columns")
+                    }
+                }
+            }
+        };
+
+        // --- metering ---------------------------------------------------
+        let before = self.meter.snapshot();
+        let est = self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
+        let delta = self.meter.since(&before);
+        Ok(QueryResult {
+            rows: out,
+            energy: delta.grand_total(),
+            modeled_time: est.time,
+            wall_time: started.elapsed(),
+            access_path,
+        })
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+fn int_column<'t>(t: &'t Table, table: &str, name: &str) -> DbResult<&'t [i64]> {
+    t.column(name)
+        .ok_or_else(|| DbError::NoSuchColumn { table: table.to_string(), column: name.to_string() })?
+        .as_int64()
+        .ok_or_else(|| DbError::TypeMismatch { column: name.to_string(), expected: DataType::Int64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db(rows: i64) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "orders",
+            &[("id", DataType::Int64), ("region", DataType::Int64), ("amount", DataType::Int64)],
+        )
+        .unwrap();
+        for i in 0..rows {
+            db.insert(
+                "orders",
+                &Record::new().with("id", i).with("region", i % 4).with("amount", i * 3),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let mut db = sample_db(100);
+        let out = db
+            .execute(&Query::scan("orders").filter("amount", CmpOp::Lt, 30).select(["id"]))
+            .unwrap();
+        assert_eq!(out.rows.rows(), 10);
+        assert_eq!(out.rows.width(), 1);
+        assert!(out.energy.joules() > 0.0);
+    }
+
+    #[test]
+    fn conjunctive_filters() {
+        let mut db = sample_db(100);
+        let out = db
+            .execute(
+                &Query::scan("orders")
+                    .filter("region", CmpOp::Eq, 1)
+                    .filter("amount", CmpOp::Lt, 60),
+            )
+            .unwrap();
+        // region==1: ids 1,5,9,...; amount<60 → id*3<60 → id<20 → ids 1,5,9,13,17
+        assert_eq!(out.rows.rows(), 5);
+    }
+
+    #[test]
+    fn global_and_grouped_aggregates() {
+        let mut db = sample_db(100);
+        let out = db.execute(&Query::scan("orders").aggregate(AggKind::Sum, "amount")).unwrap();
+        let want: i64 = (0..100).map(|i| i * 3).sum();
+        assert_eq!(out.rows.row(0).unwrap()[0].as_float(), Some(want as f64));
+
+        let out = db
+            .execute(&Query::scan("orders").group_by("region").aggregate(AggKind::Count, "amount"))
+            .unwrap();
+        assert_eq!(out.rows.rows(), 4);
+        for r in 0..4 {
+            assert_eq!(out.rows.row(r).unwrap()[1].as_float(), Some(25.0));
+        }
+    }
+
+    #[test]
+    fn index_is_used_for_point_queries() {
+        let mut db = sample_db(50_000);
+        db.create_index("orders", "id", IndexMaintenance::Eager).unwrap();
+        let out = db.execute(&Query::scan("orders").filter("id", CmpOp::Eq, 123)).unwrap();
+        assert_eq!(out.rows.rows(), 1);
+        assert_eq!(out.access_path, Some(AccessPath::IndexLookup));
+        assert_eq!(db.index_stats("orders", "id").unwrap().lookups, 1);
+    }
+
+    #[test]
+    fn scan_chosen_without_index() {
+        let mut db = sample_db(1000);
+        let out = db.execute(&Query::scan("orders").filter("id", CmpOp::Eq, 5)).unwrap();
+        assert_eq!(out.rows.rows(), 1);
+        assert_eq!(out.access_path, None, "no index: no access decision");
+    }
+
+    #[test]
+    fn index_and_scan_agree() {
+        let mut with_idx = sample_db(10_000);
+        with_idx.create_index("orders", "region", IndexMaintenance::Eager).unwrap();
+        let mut without = sample_db(10_000);
+        let q = Query::scan("orders").filter("region", CmpOp::Eq, 2).aggregate(AggKind::Sum, "amount");
+        let a = with_idx.execute(&q).unwrap();
+        let b = without.execute(&q).unwrap();
+        assert_eq!(a.rows.row(0).unwrap()[0], b.rows.row(0).unwrap()[0]);
+    }
+
+    #[test]
+    fn energy_goal_changes_nothing_single_node_but_is_respected() {
+        let mut db = sample_db(10_000);
+        db.create_index("orders", "id", IndexMaintenance::Eager).unwrap();
+        db.set_goal(Goal::MinEnergy);
+        assert_eq!(db.goal(), Goal::MinEnergy);
+        let out = db.execute(&Query::scan("orders").filter("id", CmpOp::Eq, 7)).unwrap();
+        // On one node the energy- and time-optimal access coincide (E1).
+        assert_eq!(out.access_path, Some(AccessPath::IndexLookup));
+    }
+
+    #[test]
+    fn meter_accumulates_across_queries() {
+        let mut db = sample_db(1000);
+        let before = db.meter().grand_total();
+        db.execute(&Query::scan("orders").aggregate(AggKind::Sum, "amount")).unwrap();
+        let mid = db.meter().grand_total();
+        db.execute(&Query::scan("orders").aggregate(AggKind::Max, "amount")).unwrap();
+        let after = db.meter().grand_total();
+        assert!(mid > before);
+        assert!(after > mid);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut db = sample_db(10);
+        assert!(matches!(db.execute(&Query::scan("nope")), Err(DbError::NoSuchTable(_))));
+        assert!(matches!(
+            db.execute(&Query::scan("orders").filter("ghost", CmpOp::Eq, 1)),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+        assert!(matches!(
+            db.execute(&Query::scan("orders").group_by("region")),
+            Err(DbError::BadQuery(_))
+        ));
+        assert!(matches!(db.create_table("orders", &[]), Err(DbError::TableExists(_))));
+        assert!(db.create_index("orders", "ghost", IndexMaintenance::Eager).is_err());
+    }
+
+    #[test]
+    fn string_filters_on_dictionary_codes() {
+        let mut db = Database::new();
+        db.create_table("users", &[("id", DataType::Int64), ("country", DataType::Str)]).unwrap();
+        let countries = ["de", "us", "fr", "de", "de", "jp"];
+        for (i, c) in countries.iter().enumerate() {
+            db.insert("users", &Record::new().with("id", i as i64).with("country", *c)).unwrap();
+        }
+        let eq = db.execute(&Query::scan("users").filter_str_eq("country", "de")).unwrap();
+        assert_eq!(eq.rows.rows(), 3);
+        let ne = db.execute(&Query::scan("users").filter_str_ne("country", "de")).unwrap();
+        assert_eq!(ne.rows.rows(), 3);
+        // Unknown value: `=` empty, `<>` everything.
+        assert_eq!(db.execute(&Query::scan("users").filter_str_eq("country", "zz")).unwrap().rows.rows(), 0);
+        assert_eq!(db.execute(&Query::scan("users").filter_str_ne("country", "zz")).unwrap().rows.rows(), 6);
+        // Combined with an integer predicate (applies after).
+        let both = db
+            .execute(&Query::scan("users").filter("id", CmpOp::Lt, 4).filter_str_eq("country", "de"))
+            .unwrap();
+        assert_eq!(both.rows.rows(), 2);
+        // Wrong type errors cleanly.
+        assert!(matches!(
+            db.execute(&Query::scan("users").filter_str_eq("id", "de")),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_scan_path_matches_serial() {
+        // Above the threshold the filter runs morsel-parallel; results
+        // must be identical to the serial reference.
+        let rows = (super::PARALLEL_SCAN_ROWS + 10_000) as i64;
+        let mut db = Database::new();
+        db.create_table("big", &[("v", DataType::Int64)]).unwrap();
+        for i in 0..rows {
+            db.insert("big", &Record::new().with("v", (i * 31) % 1000)).unwrap();
+        }
+        let out = db.execute(&Query::scan("big").filter("v", CmpOp::Lt, 100)).unwrap();
+        let expected = (0..rows).filter(|i| (i * 31) % 1000 < 100).count();
+        assert_eq!(out.rows.rows(), expected);
+        // Ordering preserved (morsels are re-stitched in row order).
+        let first_vals = out.rows.column("v").unwrap().as_int64().unwrap();
+        let reference: Vec<i64> =
+            (0..rows).map(|i| (i * 31) % 1000).filter(|&v| v < 100).take(32).collect();
+        assert_eq!(&first_vals[..32], &reference[..]);
+    }
+
+    #[test]
+    fn flexible_ingest_then_query() {
+        let mut db = Database::new();
+        db.create_flexible_table("events").unwrap();
+        db.insert("events", &Record::new().with("user", 1i64)).unwrap();
+        db.insert("events", &Record::new().with("user", 2i64).with("clicks", 5i64)).unwrap();
+        let out = db.execute(&Query::scan("events").filter("user", CmpOp::Gt, 0)).unwrap();
+        assert_eq!(out.rows.rows(), 2);
+        assert_eq!(db.table("events").unwrap().schema().evolved_columns(), 2);
+    }
+}

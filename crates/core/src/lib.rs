@@ -1,0 +1,75 @@
+//! # haecdb
+//!
+//! An energy-efficient in-memory column-store database — the facade
+//! crate of the reproduction of *W. Lehner, "Energy-Efficient In-Memory
+//! Database Computing" (DATE 2013, pp. 470–474)*.
+//!
+//! The paper is a vision paper: it describes the system a main-memory
+//! DBMS must become — flexible schemas, energy-metered execution,
+//! adaptive operators, need-to-know index maintenance, conversations,
+//! robustness, elasticity. `haecdb` is that system, assembled from the
+//! substrate crates:
+//!
+//! | concern | crate |
+//! |---|---|
+//! | power/energy model, RAPL emulation | `haec-energy` |
+//! | columnar storage + compression | `haec-columnar` |
+//! | vectorized adaptive operators | `haec-exec` |
+//! | MVCC / OCC / logging / conversations | `haec-txn` |
+//! | storage tiers + aging | `haec-storage` |
+//! | interconnect + compressed shipping | `haec-net` |
+//! | DVFS governors + elasticity | `haec-sched` |
+//! | dual-objective optimizer | `haec-planner` |
+//! | discrete-event simulation core | `haec-sim` |
+//!
+//! This crate adds what only the integrated system can provide: the
+//! [`db::Database`] facade with flexible-schema tables ([`schema`],
+//! [`table`]), Need-to-Know indexes ([`index`]), the energy-metered
+//! query path ([`db`]), and failure-compensating execution ([`robust`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use haecdb::prelude::*;
+//!
+//! let mut db = Database::new();
+//! db.create_table("orders", &[("id", DataType::Int64), ("amount", DataType::Int64)])?;
+//! for i in 0..1000i64 {
+//!     db.insert("orders", &Record::new().with("id", i).with("amount", i % 97))?;
+//! }
+//! let result = db.execute(&Query::scan("orders")
+//!     .filter("amount", CmpOp::Lt, 10)
+//!     .aggregate(AggKind::Count, "amount"))?;
+//! assert!(result.energy.joules() > 0.0); // every query is energy-metered
+//! # Ok::<(), haecdb::error::DbError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod db;
+pub mod error;
+pub mod index;
+pub mod robust;
+pub mod schema;
+pub mod table;
+
+/// Convenient glob-import of the crate's main types (plus the commonly
+/// used types of the substrate crates).
+pub mod prelude {
+    pub use crate::db::{Database, Filter, Query, QueryResult, StrFilter};
+    pub use crate::error::{DbError, DbResult};
+    pub use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
+    pub use crate::robust::{run_with_failures, RestartPolicy, RobustReport};
+    pub use crate::schema::{Record, SchemaMode, TableSchema};
+    pub use crate::table::Table;
+    pub use haec_columnar::value::{CmpOp, DataType, Value};
+    pub use haec_exec::agg::AggKind;
+    pub use haec_planner::optimizer::Goal;
+}
+
+pub use db::{Database, Query, QueryResult};
+pub use error::{DbError, DbResult};
+pub use index::IndexMaintenance;
+pub use schema::{Record, SchemaMode, TableSchema};
+pub use table::Table;

@@ -1,0 +1,270 @@
+//! Flexible schema: "data comes first, schema comes second" (§II).
+//!
+//! A [`TableSchema`] either enforces a declared column set
+//! ([`SchemaMode::Strict`], the classical plan-design-load workflow) or
+//! evolves as records arrive ([`SchemaMode::Flexible`]): unseen fields
+//! add columns on the fly, missing fields become nulls. Experiment E13
+//! compares load-to-query time and evolution cost between the modes.
+
+use crate::error::{DbError, DbResult};
+use haec_columnar::value::{DataType, Value};
+use std::fmt;
+
+/// Schema enforcement mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemaMode {
+    /// Fixed columns; unknown or missing fields are errors.
+    Strict,
+    /// Columns appear as data arrives; missing fields are null.
+    Flexible,
+}
+
+impl fmt::Display for SchemaMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaMode::Strict => f.write_str("strict"),
+            SchemaMode::Flexible => f.write_str("flexible"),
+        }
+    }
+}
+
+/// One record at the ingestion boundary: named values.
+///
+/// ```
+/// use haecdb::schema::Record;
+/// let r = Record::new().with("id", 1i64).with("name", "x");
+/// assert_eq!(r.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Adds a field (builder style).
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a field in place.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.fields.push((name.into(), value.into()));
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks a field up by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Iterates over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> + '_ {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v))
+    }
+}
+
+/// A table's column layout plus its enforcement mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableSchema {
+    mode: SchemaMode,
+    columns: Vec<(String, DataType)>,
+    /// How many columns were added after creation (schema drift metric).
+    evolved: usize,
+}
+
+impl TableSchema {
+    /// A strict schema with the given columns.
+    pub fn strict(columns: Vec<(String, DataType)>) -> Self {
+        TableSchema { mode: SchemaMode::Strict, columns, evolved: 0 }
+    }
+
+    /// An empty flexible schema.
+    pub fn flexible() -> Self {
+        TableSchema { mode: SchemaMode::Flexible, columns: Vec::new(), evolved: 0 }
+    }
+
+    /// The enforcement mode.
+    pub fn mode(&self) -> SchemaMode {
+        self.mode
+    }
+
+    /// The column layout.
+    pub fn columns(&self) -> &[(String, DataType)] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Columns added after creation.
+    pub fn evolved_columns(&self) -> usize {
+        self.evolved
+    }
+
+    /// Position of a column.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Validates `record` against the schema, evolving it when the mode
+    /// allows. Returns, per schema column (post-evolution order), the
+    /// value to store (`Value::Null` for missing fields).
+    ///
+    /// # Errors
+    ///
+    /// In strict mode: unknown fields, missing fields and type
+    /// mismatches are [`DbError`]s. In flexible mode only type
+    /// mismatches on existing columns fail; a field whose first
+    /// appearance is null is an error too (its type cannot be
+    /// inferred).
+    pub fn admit(&mut self, record: &Record) -> DbResult<Vec<Value>> {
+        // Unknown fields.
+        for (name, value) in record.iter() {
+            if self.position(name).is_none() {
+                match self.mode {
+                    SchemaMode::Strict => {
+                        return Err(DbError::SchemaViolation(format!("unknown field {name:?}")))
+                    }
+                    SchemaMode::Flexible => {
+                        let dtype = value.data_type().ok_or_else(|| {
+                            DbError::SchemaViolation(format!(
+                                "cannot infer type of new field {name:?} from null"
+                            ))
+                        })?;
+                        self.columns.push((name.to_string(), dtype));
+                        self.evolved += 1;
+                    }
+                }
+            }
+        }
+        // Assemble per-column values, checking types.
+        let mut out = Vec::with_capacity(self.columns.len());
+        for (name, dtype) in &self.columns {
+            match record.get(name) {
+                None | Some(Value::Null) => {
+                    if self.mode == SchemaMode::Strict && record.get(name).is_none() {
+                        return Err(DbError::SchemaViolation(format!("missing field {name:?}")));
+                    }
+                    out.push(Value::Null);
+                }
+                Some(v) => {
+                    let ok = match (dtype, v) {
+                        (DataType::Int64, Value::Int(_)) => true,
+                        (DataType::Float64, Value::Float(_) | Value::Int(_)) => true,
+                        (DataType::Str, Value::Str(_)) => true,
+                        _ => false,
+                    };
+                    if !ok {
+                        return Err(DbError::TypeMismatch { column: name.clone(), expected: *dtype });
+                    }
+                    out.push(v.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_builder() {
+        let r = Record::new().with("a", 1i64).with("b", 2.5).with("c", "x");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get("a"), Some(&Value::Int(1)));
+        assert_eq!(r.get("zz"), None);
+        assert!(!r.is_empty());
+        assert!(Record::new().is_empty());
+    }
+
+    #[test]
+    fn strict_accepts_exact_match() {
+        let mut s = TableSchema::strict(vec![("id".into(), DataType::Int64), ("name".into(), DataType::Str)]);
+        let vals = s.admit(&Record::new().with("id", 1i64).with("name", "a")).unwrap();
+        assert_eq!(vals, vec![Value::Int(1), Value::from("a")]);
+        assert_eq!(s.evolved_columns(), 0);
+    }
+
+    #[test]
+    fn strict_rejects_unknown_and_missing() {
+        let mut s = TableSchema::strict(vec![("id".into(), DataType::Int64)]);
+        let err = s.admit(&Record::new().with("id", 1i64).with("extra", 2i64)).unwrap_err();
+        assert!(matches!(err, DbError::SchemaViolation(_)));
+        let err = s.admit(&Record::new()).unwrap_err();
+        assert!(matches!(err, DbError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn strict_rejects_wrong_type() {
+        let mut s = TableSchema::strict(vec![("id".into(), DataType::Int64)]);
+        let err = s.admit(&Record::new().with("id", "oops")).unwrap_err();
+        assert_eq!(err, DbError::TypeMismatch { column: "id".into(), expected: DataType::Int64 });
+    }
+
+    #[test]
+    fn flexible_evolves() {
+        let mut s = TableSchema::flexible();
+        assert_eq!(s.width(), 0);
+        let v1 = s.admit(&Record::new().with("a", 1i64)).unwrap();
+        assert_eq!(v1, vec![Value::Int(1)]);
+        // Second record adds a column; first column missing → null.
+        let v2 = s.admit(&Record::new().with("b", "x")).unwrap();
+        assert_eq!(v2, vec![Value::Null, Value::from("x")]);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.evolved_columns(), 2);
+    }
+
+    #[test]
+    fn flexible_rejects_type_drift() {
+        let mut s = TableSchema::flexible();
+        s.admit(&Record::new().with("a", 1i64)).unwrap();
+        let err = s.admit(&Record::new().with("a", "now a string")).unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn flexible_rejects_null_first_appearance() {
+        let mut s = TableSchema::flexible();
+        let r = Record::new().with("a", Value::Null);
+        assert!(matches!(s.admit(&r).unwrap_err(), DbError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        let mut s = TableSchema::strict(vec![("p".into(), DataType::Float64)]);
+        let v = s.admit(&Record::new().with("p", 3i64)).unwrap();
+        assert_eq!(v, vec![Value::Int(3)]); // stored value keeps its form; column coerces
+    }
+
+    #[test]
+    fn position_lookup() {
+        let s = TableSchema::strict(vec![("a".into(), DataType::Int64), ("b".into(), DataType::Str)]);
+        assert_eq!(s.position("b"), Some(1));
+        assert_eq!(s.position("zz"), None);
+        assert_eq!(s.columns().len(), 2);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(format!("{}", SchemaMode::Flexible), "flexible");
+    }
+}

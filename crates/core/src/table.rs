@@ -1,0 +1,237 @@
+//! In-memory tables: columnar storage behind a schema.
+
+use crate::error::{DbError, DbResult};
+use crate::schema::{Record, SchemaMode, TableSchema};
+use haec_columnar::chunk::Chunk;
+use haec_columnar::column::Column;
+use haec_columnar::value::{DataType, Value};
+
+/// A named table: schema + dense columns + validity tracking.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: TableSchema,
+    columns: Vec<Column>,
+    /// Per-column validity (false = null sentinel at that row).
+    validity: Vec<Vec<bool>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates a table with the given schema.
+    pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
+        let columns = schema.columns().iter().map(|(_, t)| Column::new(*t)).collect();
+        let width = schema.width();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            validity: vec![Vec::new(); width],
+            rows: 0,
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends one record, evolving a flexible schema as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema violations and type mismatches.
+    pub fn insert(&mut self, record: &Record) -> DbResult<()> {
+        let values = self.schema.admit(record)?;
+        // Schema may have grown: materialize new columns backfilled with
+        // sentinel nulls.
+        while self.columns.len() < self.schema.width() {
+            let (_, dtype) = &self.schema.columns()[self.columns.len()];
+            let mut col = Column::new(*dtype);
+            for _ in 0..self.rows {
+                col.push(Value::Null).expect("null is universal");
+            }
+            self.columns.push(col);
+            self.validity.push(vec![false; self.rows]);
+        }
+        for ((col, valid), value) in self.columns.iter_mut().zip(&mut self.validity).zip(values) {
+            valid.push(!value.is_null());
+            col.push(value).map_err(|e| DbError::TypeMismatch {
+                column: String::new(),
+                expected: e.expected,
+            })?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Borrowed view of one column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.schema.position(name).map(|i| &self.columns[i])
+    }
+
+    /// The validity vector of one column.
+    pub fn validity(&self, name: &str) -> Option<&[bool]> {
+        self.schema.position(name).map(|i| self.validity[i].as_slice())
+    }
+
+    /// Count of nulls in a column.
+    pub fn null_count(&self, name: &str) -> Option<usize> {
+        self.validity(name).map(|v| v.iter().filter(|&&b| !b).count())
+    }
+
+    /// Materializes the whole table as a [`Chunk`].
+    pub fn to_chunk(&self) -> Chunk {
+        let cols = self
+            .schema
+            .columns()
+            .iter()
+            .zip(&self.columns)
+            .map(|((n, _), c)| (n.clone(), c.clone()))
+            .collect();
+        Chunk::new(cols).expect("table columns are equal length")
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(Column::size_bytes).sum::<usize>() + self.rows * self.columns.len() / 8
+    }
+
+    /// Per-table planner statistics.
+    pub fn planner_meta(&self) -> haec_planner::catalog::TableMeta {
+        let columns = self
+            .schema
+            .columns()
+            .iter()
+            .zip(&self.columns)
+            .map(|((name, dtype), col)| {
+                let stats = col.stats();
+                let (min, max) = match (&stats.min, &stats.max) {
+                    (Some(Value::Int(a)), Some(Value::Int(b))) => (*a, *b),
+                    _ => (0, 0),
+                };
+                let _ = dtype;
+                haec_planner::catalog::ColumnMeta {
+                    name: name.clone(),
+                    ndv: stats.distinct,
+                    min,
+                    max,
+                    indexed: false, // the Database layer overlays index info
+                }
+            })
+            .collect();
+        haec_planner::catalog::TableMeta {
+            name: self.name.clone(),
+            rows: self.rows as u64,
+            row_bytes: (self.size_bytes() / self.rows.max(1)) as u64,
+            columns,
+        }
+    }
+}
+
+/// Convenience constructor for common strict schemas.
+pub fn strict_schema(cols: &[(&str, DataType)]) -> TableSchema {
+    TableSchema::strict(cols.iter().map(|(n, t)| (n.to_string(), *t)).collect())
+}
+
+/// Returns `true` if the table was declared flexible.
+pub fn is_flexible(table: &Table) -> bool {
+    table.schema().mode() == SchemaMode::Flexible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_columnar::value::CmpOp;
+
+    fn orders() -> Table {
+        let mut t = Table::new("orders", strict_schema(&[("id", DataType::Int64), ("amount", DataType::Int64)]));
+        for i in 0..10 {
+            t.insert(&Record::new().with("id", i as i64).with("amount", (i * 10) as i64)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let t = orders();
+        assert_eq!(t.rows(), 10);
+        assert!(!t.is_empty());
+        let chunk = t.to_chunk();
+        assert_eq!(chunk.rows(), 10);
+        assert_eq!(chunk.row(3).unwrap(), vec![Value::Int(3), Value::Int(30)]);
+    }
+
+    #[test]
+    fn column_access() {
+        let t = orders();
+        assert!(t.column("amount").is_some());
+        assert!(t.column("zz").is_none());
+        assert_eq!(t.column("amount").unwrap().as_int64().unwrap()[5], 50);
+    }
+
+    #[test]
+    fn flexible_table_grows_columns() {
+        let mut t = Table::new("events", TableSchema::flexible());
+        t.insert(&Record::new().with("a", 1i64)).unwrap();
+        t.insert(&Record::new().with("a", 2i64).with("b", "x")).unwrap();
+        t.insert(&Record::new().with("b", "y")).unwrap();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.schema().width(), 2);
+        // Backfilled nulls: b missing in row 0, a missing in row 2.
+        assert_eq!(t.null_count("b"), Some(1));
+        assert_eq!(t.null_count("a"), Some(1));
+        // Sentinel values are stored densely.
+        assert_eq!(t.column("a").unwrap().as_int64().unwrap(), &[1, 2, 0]);
+        assert!(is_flexible(&t));
+    }
+
+    #[test]
+    fn strict_rejects_drift() {
+        let mut t = orders();
+        assert!(t.insert(&Record::new().with("id", 1i64)).is_err(), "missing amount");
+        assert!(t
+            .insert(&Record::new().with("id", 1i64).with("amount", 1i64).with("new", 1i64))
+            .is_err());
+        assert_eq!(t.rows(), 10, "failed inserts must not partially apply rows");
+    }
+
+    #[test]
+    fn planner_meta_reflects_data() {
+        let t = orders();
+        let meta = t.planner_meta();
+        assert_eq!(meta.rows, 10);
+        let id = meta.columns.iter().find(|c| c.name == "id").unwrap();
+        assert_eq!(id.min, 0);
+        assert_eq!(id.max, 9);
+        assert_eq!(id.ndv, 10);
+        // Check the stats drive sane selectivity.
+        let sel = haec_planner::access::estimate_selectivity(&meta, "id", CmpOp::Lt, 5);
+        assert!((sel - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn size_grows_with_rows() {
+        let small = orders().size_bytes();
+        let mut big = orders();
+        for i in 10..1000 {
+            big.insert(&Record::new().with("id", i as i64).with("amount", 1i64)).unwrap();
+        }
+        assert!(big.size_bytes() > small);
+    }
+}

@@ -1,0 +1,63 @@
+//! # haec-energy
+//!
+//! Analytical power/energy model with emulated RAPL counters — the
+//! metering substrate of the `haecdb` reproduction of
+//! *W. Lehner, "Energy-Efficient In-Memory Database Computing" (DATE 2013)*.
+//!
+//! The paper argues that a database must treat energy as a first-class
+//! optimization objective next to response time ("elasticity in the
+//! small", Fig. 2). Doing so requires three things this crate provides:
+//!
+//! 1. **A machine power model** ([`machine::MachineSpec`]): cores with
+//!    DVFS [`pstate::PStateTable`] and sleep states, DRAM, NIC, disk and
+//!    an optional co-processor, each with static power and dynamic
+//!    energy-per-work coefficients.
+//! 2. **Metering** ([`meter::EnergyMeter`]): per-domain joule accounting
+//!    with an emulated RAPL register interface (µJ units, 32-bit
+//!    wraparound) so code written against real hardware counters runs
+//!    unchanged.
+//! 3. **Dual-objective costing** ([`profile::CostEstimator`]): maps a
+//!    [`profile::ResourceProfile`] to `(time, energy)` under a chosen
+//!    P-state and degree of parallelism — the primitive the optimizer
+//!    uses to trade watts against milliseconds.
+//!
+//! ## Example
+//!
+//! ```
+//! use haec_energy::prelude::*;
+//!
+//! // Cost a 100M-cycle, 64 MiB scan at the fastest and slowest P-state.
+//! let est = CostEstimator::new(MachineSpec::commodity_2013());
+//! let profile = ResourceProfile::scan(Cycles::new(100_000_000), ByteCount::from_mib(64));
+//! let fast = est.estimate(&profile, ExecutionContext::single(est.machine().pstates().fastest()));
+//! let slow = est.estimate(&profile, ExecutionContext::single(est.machine().pstates().slowest()));
+//! assert!(fast.time < slow.time);                       // racing is faster…
+//! assert!(fast.breakdown.cpu > slow.breakdown.cpu);     // …but burns more core energy
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibrate;
+pub mod machine;
+pub mod meter;
+pub mod profile;
+pub mod pstate;
+pub mod units;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::calibrate::{Kernel, KernelCosts};
+    pub use crate::machine::{CoprocSpec, DiskSpec, DramSpec, MachineSpec, NicSpec};
+    pub use crate::meter::{Domain, EnergyMeter, EnergySnapshot};
+    pub use crate::profile::{CostEstimate, CostEstimator, EnergyBreakdown, ExecutionContext, ResourceProfile};
+    pub use crate::pstate::{CState, PState, PStateId, PStateTable};
+    pub use crate::units::{ByteCount, Cycles, Hertz, Joules, Volts, Watts};
+}
+
+pub use calibrate::{Kernel, KernelCosts};
+pub use machine::MachineSpec;
+pub use meter::{Domain, EnergyMeter};
+pub use profile::{CostEstimate, CostEstimator, ExecutionContext, ResourceProfile};
+pub use pstate::{CState, PStateId, PStateTable};
+pub use units::{ByteCount, Cycles, Joules, Watts};

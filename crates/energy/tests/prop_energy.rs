@@ -1,0 +1,103 @@
+//! Property-based tests for the energy model invariants.
+
+use haec_energy::meter::{rapl_delta, rapl_units_to_joules, RAPL_WRAP_UNITS};
+use haec_energy::prelude::*;
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    /// RAPL delta reconstruction: for any starting register value and any
+    /// true consumption below one wrap, reading before/after and applying
+    /// `rapl_delta` recovers the consumption exactly.
+    #[test]
+    fn rapl_delta_recovers_consumption(start in 0u64..RAPL_WRAP_UNITS, used in 0u64..RAPL_WRAP_UNITS) {
+        let after = (start + used) % RAPL_WRAP_UNITS;
+        prop_assert_eq!(rapl_delta(start, after), used);
+    }
+
+    /// Meter monotonicity: adding non-negative energy never decreases any
+    /// domain total, and package always equals cores + dram.
+    #[test]
+    fn meter_package_invariant(adds in proptest::collection::vec((0usize..6, 0.0f64..1e6), 0..50)) {
+        let mut m = EnergyMeter::new();
+        for (d, j) in adds {
+            let domain = Domain::ALL[d];
+            if domain == Domain::Package { continue; }
+            m.add(domain, Joules::new(j));
+        }
+        let pkg = m.total(Domain::Package).joules();
+        let cores_dram = m.total(Domain::Cores).joules() + m.total(Domain::Dram).joules();
+        prop_assert!((pkg - cores_dram).abs() <= 1e-6 * pkg.max(1.0));
+        // Grand total ≥ every leaf domain.
+        for d in Domain::ALL {
+            if d != Domain::Package {
+                prop_assert!(m.grand_total().joules() + 1e-9 >= m.total(d).joules());
+            }
+        }
+    }
+
+    /// Costing is monotone in work: more cycles never takes less time or
+    /// energy at a fixed context.
+    #[test]
+    fn cost_monotone_in_cycles(c1 in 0u64..10_000_000_000, c2 in 0u64..10_000_000_000) {
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let est = CostEstimator::new(MachineSpec::commodity_2013());
+        let ctx = ExecutionContext::single(est.machine().pstates().fastest());
+        let a = est.estimate(&ResourceProfile::cpu(Cycles::new(lo)), ctx);
+        let b = est.estimate(&ResourceProfile::cpu(Cycles::new(hi)), ctx);
+        prop_assert!(a.time <= b.time);
+        prop_assert!(a.energy.joules() <= b.energy.joules() + 1e-12);
+    }
+
+    /// Parallelism never makes pure-CPU work slower, and never cheaper in
+    /// core-energy terms (same cycles, same per-cycle energy).
+    #[test]
+    fn parallel_speedup_sane(cycles in 1u64..1_000_000_000, cores in 1usize..8) {
+        let est = CostEstimator::new(MachineSpec::commodity_2013());
+        let ps = est.machine().pstates().fastest();
+        let p = ResourceProfile::cpu(Cycles::new(cycles));
+        let seq = est.estimate(&p, ExecutionContext::single(ps));
+        let par = est.estimate(&p, ExecutionContext::parallel(ps, cores));
+        prop_assert!(par.time <= seq.time + Duration::from_nanos(1));
+    }
+
+    /// Unit arithmetic: (a+b)-b ≈ a for joules.
+    #[test]
+    fn joules_add_sub_roundtrip(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+        let r = (Joules::new(a) + Joules::new(b)) - Joules::new(b);
+        prop_assert!((r.joules() - a).abs() <= 1e-3 * a.abs().max(1.0));
+    }
+
+    /// rapl unit conversion is linear.
+    #[test]
+    fn rapl_units_linear(u in 0u64..u32::MAX as u64) {
+        let j = rapl_units_to_joules(u).joules();
+        let j2 = rapl_units_to_joules(2 * u).joules();
+        prop_assert!((j2 - 2.0 * j).abs() < 1e-9);
+    }
+
+    /// Branching-selection cost is symmetric in selectivity and peaks at 0.5.
+    #[test]
+    fn branching_cost_symmetric(sel in 0.0f64..=0.5) {
+        let costs = KernelCosts::default_2013();
+        let a = costs.branching_cycles(100_000, sel).count();
+        let b = costs.branching_cycles(100_000, 1.0 - sel).count();
+        let mid = costs.branching_cycles(100_000, 0.5).count();
+        prop_assert_eq!(a, b);
+        prop_assert!(mid >= a);
+    }
+
+    /// Sequential/parallel composition laws: `then` times add; `alongside`
+    /// takes the max; both add energy.
+    #[test]
+    fn composition_laws(t1 in 0u64..1_000_000, t2 in 0u64..1_000_000, e1 in 0.0f64..1e3, e2 in 0.0f64..1e3) {
+        let a = CostEstimate { time: Duration::from_micros(t1), energy: Joules::new(e1), breakdown: Default::default() };
+        let b = CostEstimate { time: Duration::from_micros(t2), energy: Joules::new(e2), breakdown: Default::default() };
+        let seq = a.then(&b);
+        let par = a.alongside(&b);
+        prop_assert_eq!(seq.time, a.time + b.time);
+        prop_assert_eq!(par.time, a.time.max(b.time));
+        prop_assert!((seq.energy.joules() - (e1 + e2)).abs() < 1e-9);
+        prop_assert!((par.energy.joules() - (e1 + e2)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,245 @@
+//! Equi-joins: hash join (build + probe) and sort-merge join.
+//!
+//! Both return matching index pairs `(build_row, probe_row)` /
+//! `(left_row, right_row)` so callers can gather any payload columns —
+//! the late-materialization style of column stores.
+
+use crate::metrics::OpStats;
+use haec_energy::calibrate::{Kernel, KernelCosts};
+use haec_energy::units::ByteCount;
+use haec_energy::ResourceProfile;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A hash table over the build side of an equi-join.
+///
+/// ```
+/// use haec_exec::join::HashJoin;
+/// let build = vec![10i64, 20, 30];
+/// let probe = vec![20i64, 20, 99];
+/// let join = HashJoin::build(&build);
+/// let pairs = join.probe(&probe);
+/// assert_eq!(pairs, vec![(1, 0), (1, 1)]); // build row 1 matches probe rows 0 and 1
+/// ```
+#[derive(Clone, Debug)]
+pub struct HashJoin {
+    table: HashMap<i64, Vec<u32>>,
+    build_rows: usize,
+}
+
+impl HashJoin {
+    /// Builds the hash table over `keys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the build side exceeds `u32` rows.
+    pub fn build(keys: &[i64]) -> Self {
+        assert!(keys.len() <= u32::MAX as usize, "build side too large");
+        let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            table.entry(k).or_default().push(i as u32);
+        }
+        HashJoin { table, build_rows: keys.len() }
+    }
+
+    /// Number of rows on the build side.
+    pub fn build_rows(&self) -> usize {
+        self.build_rows
+    }
+
+    /// Number of distinct build keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Probes with `keys`, returning `(build_row, probe_row)` pairs in
+    /// probe order.
+    pub fn probe(&self, keys: &[i64]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (j, k) in keys.iter().enumerate() {
+            if let Some(rows) = self.table.get(k) {
+                for &i in rows {
+                    out.push((i, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// Probes and reports semi-join (exists) matches only.
+    pub fn probe_semi(&self, keys: &[i64]) -> Vec<u32> {
+        keys.iter()
+            .enumerate()
+            .filter(|(_, k)| self.table.contains_key(k))
+            .map(|(j, _)| j as u32)
+            .collect()
+    }
+}
+
+/// Runs a full metered hash join (build + probe).
+pub fn hash_join_metered(
+    build_keys: &[i64],
+    probe_keys: &[i64],
+    costs: &KernelCosts,
+) -> (Vec<(u32, u32)>, OpStats) {
+    let start = Instant::now();
+    let join = HashJoin::build(build_keys);
+    let pairs = join.probe(probe_keys);
+    let wall = start.elapsed();
+    let b = build_keys.len() as u64;
+    let p = probe_keys.len() as u64;
+    let profile = ResourceProfile {
+        cpu_cycles: costs.cycles_for(Kernel::HashBuild, b) + costs.cycles_for(Kernel::HashProbe, p),
+        dram_read: ByteCount::new((b + p) * 8),
+        dram_written: ByteCount::new(b * 16 + pairs.len() as u64 * 8),
+        ..ResourceProfile::default()
+    };
+    let stats = OpStats { items_in: b + p, items_out: pairs.len() as u64, profile, wall };
+    (pairs, stats)
+}
+
+/// Sort-merge equi-join: sorts index permutations of both inputs and
+/// merges, returning `(left_row, right_row)` pairs (sorted by key, then
+/// input order). Handles duplicate keys on both sides (cross product per
+/// key group).
+pub fn sort_merge_join(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
+    assert!(left.len() <= u32::MAX as usize && right.len() <= u32::MAX as usize, "input too large");
+    let mut li: Vec<u32> = (0..left.len() as u32).collect();
+    let mut ri: Vec<u32> = (0..right.len() as u32).collect();
+    li.sort_by_key(|&i| left[i as usize]);
+    ri.sort_by_key(|&j| right[j as usize]);
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < li.len() && j < ri.len() {
+        let lk = left[li[i] as usize];
+        let rk = right[ri[j] as usize];
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Extent of equal keys on both sides.
+                let i_end = li[i..].iter().take_while(|&&x| left[x as usize] == lk).count() + i;
+                let j_end = ri[j..].iter().take_while(|&&x| right[x as usize] == rk).count() + j;
+                for &l in &li[i..i_end] {
+                    for &r in &ri[j..j_end] {
+                        out.push((l, r));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+/// Metered variant of [`sort_merge_join`].
+pub fn sort_merge_join_metered(left: &[i64], right: &[i64], costs: &KernelCosts) -> (Vec<(u32, u32)>, OpStats) {
+    let start = Instant::now();
+    let pairs = sort_merge_join(left, right);
+    let wall = start.elapsed();
+    let n = (left.len() + right.len()) as u64;
+    let levels = (n.max(2) as f64).log2().ceil() as u64;
+    let profile = ResourceProfile {
+        cpu_cycles: costs.cycles_for(Kernel::SortPerLevel, n * levels),
+        dram_read: ByteCount::new(n * 8 * levels),
+        dram_written: ByteCount::new(pairs.len() as u64 * 8),
+        ..ResourceProfile::default()
+    };
+    let stats = OpStats { items_in: n, items_out: pairs.len() as u64, profile, wall };
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canonical(mut pairs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        pairs.sort_unstable();
+        pairs
+    }
+
+    fn nested_loop(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                if l == r {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let left: Vec<i64> = (0..200).map(|i| i % 23).collect();
+        let right: Vec<i64> = (0..150).map(|i| i % 31).collect();
+        let want = canonical(nested_loop(&left, &right));
+        let got = canonical(HashJoin::build(&left).probe(&right));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sort_merge_matches_nested_loop() {
+        let left: Vec<i64> = (0..200).map(|i| (i * 7) % 23).collect();
+        let right: Vec<i64> = (0..150).map(|i| (i * 3) % 31).collect();
+        let want = canonical(nested_loop(&left, &right));
+        let got = canonical(sort_merge_join(&left, &right));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_keys_cross_product() {
+        let left = vec![5, 5];
+        let right = vec![5, 5, 5];
+        assert_eq!(HashJoin::build(&left).probe(&right).len(), 6);
+        assert_eq!(sort_merge_join(&left, &right).len(), 6);
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert!(HashJoin::build(&[]).probe(&[1, 2]).is_empty());
+        assert!(HashJoin::build(&[1]).probe(&[]).is_empty());
+        assert!(sort_merge_join(&[], &[1]).is_empty());
+        assert!(sort_merge_join(&[1], &[]).is_empty());
+    }
+
+    #[test]
+    fn semi_join() {
+        let join = HashJoin::build(&[1, 2, 3]);
+        assert_eq!(join.probe_semi(&[0, 2, 2, 9, 3]), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn build_metadata() {
+        let join = HashJoin::build(&[7, 7, 8]);
+        assert_eq!(join.build_rows(), 3);
+        assert_eq!(join.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn metered_stats() {
+        let build: Vec<i64> = (0..1000).collect();
+        let probe: Vec<i64> = (500..1500).collect();
+        let (pairs, stats) = hash_join_metered(&build, &probe, &KernelCosts::default_2013());
+        assert_eq!(pairs.len(), 500);
+        assert_eq!(stats.items_in, 2000);
+        assert_eq!(stats.items_out, 500);
+        assert!(stats.profile.cpu_cycles.count() > 0);
+
+        let (pairs2, stats2) = sort_merge_join_metered(&build, &probe, &KernelCosts::default_2013());
+        assert_eq!(canonical(pairs2), canonical(pairs));
+        assert!(stats2.profile.cpu_cycles.count() > 0);
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let left = vec![i64::MIN, -1, 0, i64::MAX];
+        let right = vec![i64::MAX, i64::MIN];
+        let want = canonical(nested_loop(&left, &right));
+        assert_eq!(canonical(HashJoin::build(&left).probe(&right)), want);
+        assert_eq!(canonical(sort_merge_join(&left, &right)), want);
+    }
+}

@@ -1,0 +1,68 @@
+//! # haec-exec
+//!
+//! Vectorized, adaptive, energy-metered query operators — the execution
+//! engine of the `haecdb` reproduction of *Lehner, "Energy-Efficient
+//! In-Memory Database Computing" (DATE 2013)*.
+//!
+//! What the paper asks of "customized plan operators" (§IV.B) maps onto
+//! this crate as follows:
+//!
+//! * **Reconfigurable selection** — [`select`] implements the branching /
+//!   predicated / bitwise kernels of Ross (TODS'04) and an
+//!   [`select::AdaptiveSelect`] operator that switches kernels as observed
+//!   selectivity drifts.
+//! * **Synchronization spectrum** — [`agg`] implements parallel grouped
+//!   aggregation under mutex / atomic / optimistic (TSX-analogue) /
+//!   partitioned strategies (experiment E4).
+//! * **Morsel-driven parallelism** — [`morsel`] load-balances row ranges
+//!   over real threads.
+//! * **Joins** — [`join`] provides hash and sort-merge equi-joins.
+//! * **Metering** — every operator reports [`metrics::OpStats`] with a
+//!   [`haec_energy::ResourceProfile`] so the energy layer can charge
+//!   joules for what actually ran.
+//!
+//! ## Example
+//!
+//! ```
+//! use haec_exec::prelude::*;
+//! use haec_columnar::prelude::*;
+//!
+//! // σ(amount < 100) → Σ amount, with per-operator metering.
+//! let chunk = Chunk::new(vec![
+//!     ("amount".into(), (0i64..1000).collect::<Vec<_>>().into_iter().collect::<Column>()),
+//! ]).unwrap();
+//! let mut pipeline = Pipeline::new();
+//! pipeline.push(FilterOp::new("amount", CmpOp::Lt, 100));
+//! pipeline.push(AggregateOp::global("amount", AggKind::Sum));
+//! let (result, stats) = pipeline.run(&chunk).unwrap();
+//! assert_eq!(result.row(0).unwrap()[0].as_float(), Some(4950.0));
+//! assert!(stats.iter().all(|s| s.profile.cpu_cycles.count() > 0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agg;
+pub mod join;
+pub mod metrics;
+pub mod morsel;
+pub mod pipeline;
+pub mod select;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::agg::{
+        aggregate, group_aggregate, parallel_group_sum, predicted_speedup, AggKind, AggState,
+        ParallelAggReport, SyncStrategy,
+    };
+    pub use crate::join::{hash_join_metered, sort_merge_join, HashJoin};
+    pub use crate::metrics::OpStats;
+    pub use crate::morsel::{parallel_morsels, Morsel, MorselDispenser};
+    pub use crate::pipeline::{AggregateOp, ExecError, FilterOp, Operator, Pipeline, ProjectOp};
+    pub use crate::select::{select_metered, select_positions, AdaptiveSelect, SelectKernel};
+}
+
+pub use agg::{AggKind, AggState, SyncStrategy};
+pub use metrics::OpStats;
+pub use pipeline::{ExecError, Pipeline};
+pub use select::{AdaptiveSelect, SelectKernel};

@@ -1,0 +1,109 @@
+//! Per-operator execution statistics.
+
+use haec_energy::ResourceProfile;
+use std::fmt;
+use std::ops::Add;
+use std::time::Duration;
+
+/// What one operator invocation consumed and produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OpStats {
+    /// Rows consumed.
+    pub items_in: u64,
+    /// Rows produced.
+    pub items_out: u64,
+    /// Modelled resource consumption (feeds the energy meter).
+    pub profile: ResourceProfile,
+    /// Measured wall-clock time of the real execution.
+    pub wall: Duration,
+}
+
+impl OpStats {
+    /// An empty stats record.
+    pub fn new() -> Self {
+        OpStats::default()
+    }
+
+    /// Output/input ratio (0 when nothing was consumed).
+    pub fn selectivity(&self) -> f64 {
+        if self.items_in == 0 {
+            0.0
+        } else {
+            self.items_out as f64 / self.items_in as f64
+        }
+    }
+
+    /// Measured throughput in input rows per second (`None` if the
+    /// invocation was too fast to time).
+    pub fn throughput(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        (secs > 0.0).then(|| self.items_in as f64 / secs)
+    }
+}
+
+impl Add for OpStats {
+    type Output = OpStats;
+    fn add(self, rhs: OpStats) -> OpStats {
+        OpStats {
+            items_in: self.items_in + rhs.items_in,
+            items_out: self.items_out + rhs.items_out,
+            profile: self.profile + rhs.profile,
+            wall: self.wall + rhs.wall,
+        }
+    }
+}
+
+impl fmt::Display for OpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in, {} out, {:.3} ms wall",
+            self.items_in,
+            self.items_out,
+            self.wall.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_energy::Cycles;
+
+    #[test]
+    fn selectivity_and_throughput() {
+        let s = OpStats { items_in: 100, items_out: 25, wall: Duration::from_millis(10), ..Default::default() };
+        assert_eq!(s.selectivity(), 0.25);
+        let tp = s.throughput().unwrap();
+        assert!((tp - 10_000.0).abs() < 1.0);
+        assert_eq!(OpStats::new().selectivity(), 0.0);
+        assert!(OpStats::new().throughput().is_none());
+    }
+
+    #[test]
+    fn addition_merges() {
+        let a = OpStats {
+            items_in: 10,
+            items_out: 5,
+            profile: ResourceProfile::cpu(Cycles::new(100)),
+            wall: Duration::from_micros(3),
+        };
+        let b = OpStats {
+            items_in: 20,
+            items_out: 1,
+            profile: ResourceProfile::cpu(Cycles::new(50)),
+            wall: Duration::from_micros(4),
+        };
+        let c = a + b;
+        assert_eq!(c.items_in, 30);
+        assert_eq!(c.items_out, 6);
+        assert_eq!(c.profile.cpu_cycles, Cycles::new(150));
+        assert_eq!(c.wall, Duration::from_micros(7));
+    }
+
+    #[test]
+    fn display() {
+        let s = OpStats { items_in: 1, items_out: 1, ..Default::default() };
+        assert!(format!("{s}").contains("1 in"));
+    }
+}

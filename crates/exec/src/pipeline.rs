@@ -1,0 +1,396 @@
+//! A small composable operator pipeline over [`Chunk`]s.
+//!
+//! This is the push-free, batch-at-a-time spine used by the examples and
+//! the `haecdb` facade: each operator consumes a chunk, produces a chunk
+//! plus [`OpStats`], and the pipeline accumulates the per-operator
+//! metering that the energy layer charges.
+
+use crate::agg::{group_aggregate, AggKind, AggState};
+use crate::metrics::OpStats;
+use crate::select::AdaptiveSelect;
+use haec_columnar::chunk::Chunk;
+use haec_columnar::column::Column;
+use haec_columnar::value::CmpOp;
+use haec_energy::calibrate::{Kernel, KernelCosts};
+use haec_energy::units::ByteCount;
+use haec_energy::ResourceProfile;
+use std::fmt;
+use std::time::Instant;
+
+/// Errors surfaced by pipeline execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A referenced column is missing from the input chunk.
+    MissingColumn(
+        /// The column name.
+        String,
+    ),
+    /// A column has the wrong type for the operator.
+    WrongType {
+        /// The column name.
+        column: String,
+        /// What the operator needed.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingColumn(c) => write!(f, "missing column {c:?}"),
+            ExecError::WrongType { column, expected } => {
+                write!(f, "column {column:?} is not {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A chunk-at-a-time operator.
+pub trait Operator: fmt::Debug + Send {
+    /// A short name for plan rendering.
+    fn name(&self) -> &str;
+
+    /// Processes one chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the chunk does not match the operator's
+    /// schema expectations.
+    fn apply(&mut self, input: &Chunk) -> Result<(Chunk, OpStats), ExecError>;
+}
+
+/// Filter: keeps rows where `column op literal` (integer columns).
+#[derive(Debug)]
+pub struct FilterOp {
+    column: String,
+    select: AdaptiveSelect,
+}
+
+impl FilterOp {
+    /// Creates a filter on an integer column.
+    pub fn new(column: impl Into<String>, op: CmpOp, literal: i64) -> Self {
+        FilterOp { column: column.into(), select: AdaptiveSelect::new(op, literal) }
+    }
+
+    /// The adaptive selection state (for inspection in experiments).
+    pub fn select(&self) -> &AdaptiveSelect {
+        &self.select
+    }
+}
+
+impl Operator for FilterOp {
+    fn name(&self) -> &str {
+        "filter"
+    }
+
+    fn apply(&mut self, input: &Chunk) -> Result<(Chunk, OpStats), ExecError> {
+        let col = input
+            .column(&self.column)
+            .ok_or_else(|| ExecError::MissingColumn(self.column.clone()))?;
+        let data = col
+            .as_int64()
+            .ok_or_else(|| ExecError::WrongType { column: self.column.clone(), expected: "int64" })?;
+        let (positions, mut stats) = self.select.run(data);
+        let idx: Vec<usize> = positions.iter().map(|&p| p as usize).collect();
+        let start = Instant::now();
+        let out = input.gather(&idx);
+        stats.wall += start.elapsed();
+        // Materialization traffic for the surviving rows.
+        stats.profile.dram_written = ByteCount::new((out.size_bytes()) as u64);
+        Ok((out, stats))
+    }
+}
+
+/// Projection: keeps only the named columns, in order.
+#[derive(Debug)]
+pub struct ProjectOp {
+    columns: Vec<String>,
+}
+
+impl ProjectOp {
+    /// Creates a projection.
+    pub fn new<I, S>(columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ProjectOp { columns: columns.into_iter().map(Into::into).collect() }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn name(&self) -> &str {
+        "project"
+    }
+
+    fn apply(&mut self, input: &Chunk) -> Result<(Chunk, OpStats), ExecError> {
+        let start = Instant::now();
+        let mut cols = Vec::with_capacity(self.columns.len());
+        for name in &self.columns {
+            let col = input.column(name).ok_or_else(|| ExecError::MissingColumn(name.clone()))?;
+            cols.push((name.clone(), col.clone()));
+        }
+        let out = Chunk::new(cols).expect("projection of valid chunk is valid");
+        let stats = OpStats {
+            items_in: input.rows() as u64,
+            items_out: out.rows() as u64,
+            profile: ResourceProfile {
+                dram_read: ByteCount::new(out.size_bytes() as u64),
+                ..ResourceProfile::default()
+            },
+            wall: start.elapsed(),
+        };
+        Ok((out, stats))
+    }
+}
+
+/// Grouped (or global) aggregation over an integer value column.
+#[derive(Debug)]
+pub struct AggregateOp {
+    group_by: Option<String>,
+    value: String,
+    kind: AggKind,
+    costs: KernelCosts,
+}
+
+impl AggregateOp {
+    /// Global aggregate of `value`.
+    pub fn global(value: impl Into<String>, kind: AggKind) -> Self {
+        AggregateOp { group_by: None, value: value.into(), kind, costs: KernelCosts::default_2013() }
+    }
+
+    /// Grouped aggregate of `value` by integer column `group_by`.
+    pub fn grouped(group_by: impl Into<String>, value: impl Into<String>, kind: AggKind) -> Self {
+        AggregateOp {
+            group_by: Some(group_by.into()),
+            value: value.into(),
+            kind,
+            costs: KernelCosts::default_2013(),
+        }
+    }
+}
+
+impl Operator for AggregateOp {
+    fn name(&self) -> &str {
+        "aggregate"
+    }
+
+    fn apply(&mut self, input: &Chunk) -> Result<(Chunk, OpStats), ExecError> {
+        let start = Instant::now();
+        let values = int_column(input, &self.value)?;
+        let (out, groups) = match &self.group_by {
+            None => {
+                let mut st = AggState::empty();
+                for &v in values {
+                    st.update(v);
+                }
+                let result = st.value(self.kind).unwrap_or(f64::NAN);
+                let chunk = Chunk::new(vec![(
+                    format!("{}({})", self.kind, self.value),
+                    vec![result].into_iter().collect::<Column>(),
+                )])
+                .expect("single column");
+                (chunk, 1u64)
+            }
+            Some(g) => {
+                let keys = int_column(input, g)?;
+                let grouped = group_aggregate(keys, values);
+                let key_col: Column = grouped.iter().map(|&(k, _)| k).collect::<Vec<i64>>().into_iter().collect();
+                let val_col: Column = grouped
+                    .iter()
+                    .map(|(_, s)| s.value(self.kind).unwrap_or(f64::NAN))
+                    .collect::<Vec<f64>>()
+                    .into_iter()
+                    .collect();
+                let n = grouped.len() as u64;
+                let chunk = Chunk::new(vec![
+                    (g.clone(), key_col),
+                    (format!("{}({})", self.kind, self.value), val_col),
+                ])
+                .expect("two columns");
+                (chunk, n)
+            }
+        };
+        let n = values.len() as u64;
+        let stats = OpStats {
+            items_in: n,
+            items_out: groups,
+            profile: ResourceProfile {
+                cpu_cycles: self.costs.cycles_for(Kernel::AggUpdate, n)
+                    + if self.group_by.is_some() {
+                        self.costs.cycles_for(Kernel::HashProbe, n)
+                    } else {
+                        haec_energy::Cycles::ZERO
+                    },
+                dram_read: ByteCount::new(n * if self.group_by.is_some() { 16 } else { 8 }),
+                ..ResourceProfile::default()
+            },
+            wall: start.elapsed(),
+        };
+        Ok((out, stats))
+    }
+}
+
+fn int_column<'c>(chunk: &'c Chunk, name: &str) -> Result<&'c [i64], ExecError> {
+    chunk
+        .column(name)
+        .ok_or_else(|| ExecError::MissingColumn(name.to_string()))?
+        .as_int64()
+        .ok_or_else(|| ExecError::WrongType { column: name.to_string(), expected: "int64" })
+}
+
+/// A linear chain of operators.
+///
+/// ```
+/// use haec_exec::pipeline::{FilterOp, Pipeline};
+/// use haec_exec::agg::AggKind;
+/// use haec_exec::pipeline::AggregateOp;
+/// use haec_columnar::chunk::Chunk;
+/// use haec_columnar::column::Column;
+/// use haec_columnar::value::CmpOp;
+///
+/// let chunk = Chunk::new(vec![
+///     ("v".into(), (0i64..100).collect::<Vec<_>>().into_iter().collect::<Column>()),
+/// ]).unwrap();
+/// let mut p = Pipeline::new();
+/// p.push(FilterOp::new("v", CmpOp::Lt, 50));
+/// p.push(AggregateOp::global("v", AggKind::Sum));
+/// let (out, stats) = p.run(&chunk).unwrap();
+/// assert_eq!(out.row(0).unwrap()[0].as_float(), Some((0..50).sum::<i64>() as f64));
+/// assert_eq!(stats.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    ops: Vec<Box<dyn Operator>>,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Pipeline { ops: Vec::new() }
+    }
+
+    /// Appends an operator.
+    pub fn push<O: Operator + 'static>(&mut self, op: O) -> &mut Self {
+        self.ops.push(Box::new(op));
+        self
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the pipeline has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Runs the chain over one chunk, returning the final chunk and the
+    /// per-operator stats in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first operator error.
+    pub fn run(&mut self, input: &Chunk) -> Result<(Chunk, Vec<OpStats>), ExecError> {
+        let mut current = input.clone();
+        let mut all = Vec::with_capacity(self.ops.len());
+        for op in &mut self.ops {
+            let (next, stats) = op.apply(&current)?;
+            all.push(stats);
+            current = next;
+        }
+        Ok((current, all))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders() -> Chunk {
+        Chunk::new(vec![
+            ("region".into(), (0..1000).map(|i| (i % 4) as i64).collect::<Vec<_>>().into_iter().collect()),
+            ("amount".into(), (0..1000).map(|i| i as i64).collect::<Vec<_>>().into_iter().collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_then_project() {
+        let mut p = Pipeline::new();
+        p.push(FilterOp::new("amount", CmpOp::Lt, 10));
+        p.push(ProjectOp::new(["amount"]));
+        let (out, stats) = p.run(&orders()).unwrap();
+        assert_eq!(out.rows(), 10);
+        assert_eq!(out.width(), 1);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].items_out, 10);
+    }
+
+    #[test]
+    fn grouped_aggregate() {
+        let mut p = Pipeline::new();
+        p.push(AggregateOp::grouped("region", "amount", AggKind::Count));
+        let (out, _) = p.run(&orders()).unwrap();
+        assert_eq!(out.rows(), 4);
+        for i in 0..4 {
+            assert_eq!(out.row(i).unwrap()[1].as_float(), Some(250.0));
+        }
+    }
+
+    #[test]
+    fn global_aggregate_kinds() {
+        for (kind, want) in [
+            (AggKind::Sum, (0..1000).sum::<i64>() as f64),
+            (AggKind::Count, 1000.0),
+            (AggKind::Min, 0.0),
+            (AggKind::Max, 999.0),
+            (AggKind::Avg, 499.5),
+        ] {
+            let mut p = Pipeline::new();
+            p.push(AggregateOp::global("amount", kind));
+            let (out, _) = p.run(&orders()).unwrap();
+            assert_eq!(out.row(0).unwrap()[0].as_float(), Some(want), "{kind}");
+        }
+    }
+
+    #[test]
+    fn missing_column_error() {
+        let mut p = Pipeline::new();
+        p.push(FilterOp::new("nope", CmpOp::Eq, 1));
+        let err = p.run(&orders()).unwrap_err();
+        assert_eq!(err, ExecError::MissingColumn("nope".into()));
+        assert!(format!("{err}").contains("missing column"));
+    }
+
+    #[test]
+    fn wrong_type_error() {
+        let chunk = Chunk::new(vec![("f".into(), vec![1.0f64].into_iter().collect())]).unwrap();
+        let mut p = Pipeline::new();
+        p.push(FilterOp::new("f", CmpOp::Eq, 1));
+        let err = p.run(&chunk).unwrap_err();
+        assert!(matches!(err, ExecError::WrongType { .. }));
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut p = Pipeline::new();
+        assert!(p.is_empty());
+        let (out, stats) = p.run(&orders()).unwrap();
+        assert_eq!(out.rows(), 1000);
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn stats_chain_consistency() {
+        let mut p = Pipeline::new();
+        p.push(FilterOp::new("amount", CmpOp::Ge, 500));
+        p.push(AggregateOp::grouped("region", "amount", AggKind::Sum));
+        let (_, stats) = p.run(&orders()).unwrap();
+        // Output of filter feeds aggregate.
+        assert_eq!(stats[0].items_out, stats[1].items_in);
+    }
+}

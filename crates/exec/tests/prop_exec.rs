@@ -1,0 +1,114 @@
+//! Property-based tests: kernel equivalence, aggregation strategy
+//! agreement, join correctness against a nested-loop oracle.
+
+use haec_columnar::value::CmpOp;
+use haec_exec::agg::{group_aggregate, parallel_group_sum, SyncStrategy};
+use haec_exec::join::{sort_merge_join, HashJoin};
+use haec_exec::select::{select_positions, AdaptiveSelect, SelectKernel};
+use proptest::prelude::*;
+
+fn ops() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+proptest! {
+    /// All three selection kernels return exactly the reference result.
+    #[test]
+    fn kernels_equivalent(data in proptest::collection::vec(-100i64..100, 0..500), op in ops(), lit in -120i64..120) {
+        let want: Vec<u32> = data.iter().enumerate()
+            .filter(|(_, &v)| op.eval(v, lit))
+            .map(|(i, _)| i as u32)
+            .collect();
+        for kernel in SelectKernel::ALL {
+            prop_assert_eq!(&select_positions(&data, op, lit, kernel), &want, "{}", kernel);
+        }
+    }
+
+    /// The adaptive operator always returns the reference result, no
+    /// matter which kernel it currently runs.
+    #[test]
+    fn adaptive_always_correct(batches in proptest::collection::vec(proptest::collection::vec(-50i64..50, 0..200), 1..10), lit in -60i64..60) {
+        let mut op = AdaptiveSelect::new(CmpOp::Lt, lit);
+        for data in &batches {
+            let want: Vec<u32> = data.iter().enumerate()
+                .filter(|(_, &v)| v < lit)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let (got, _) = op.run(data);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Parallel group sums agree with a scalar fold for every strategy
+    /// and thread count.
+    #[test]
+    fn parallel_sum_strategies_agree(
+        n in 1usize..5000,
+        groups in 1usize..16,
+        threads in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        let keys: Vec<u32> = (0..n).map(|i| ((i as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15) % groups as u64) as u32).collect();
+        let values: Vec<i64> = (0..n).map(|i| ((i as i64) % 97) - 48).collect();
+        let mut expected = vec![0i64; groups];
+        for (k, v) in keys.iter().zip(&values) {
+            expected[*k as usize] += v;
+        }
+        for s in SyncStrategy::ALL {
+            let r = parallel_group_sum(&keys, &values, groups, threads, s);
+            prop_assert_eq!(&r.sums, &expected, "{} x{}", s, threads);
+        }
+    }
+
+    /// group_aggregate sums/counts match a HashMap oracle.
+    #[test]
+    fn group_aggregate_matches_oracle(pairs in proptest::collection::vec((-5i64..5, -100i64..100), 0..300)) {
+        let keys: Vec<i64> = pairs.iter().map(|&(k, _)| k).collect();
+        let vals: Vec<i64> = pairs.iter().map(|&(_, v)| v).collect();
+        let grouped = group_aggregate(&keys, &vals);
+        let mut oracle: std::collections::HashMap<i64, (u64, i64)> = Default::default();
+        for (&k, &v) in keys.iter().zip(&vals) {
+            let e = oracle.entry(k).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += v;
+        }
+        prop_assert_eq!(grouped.len(), oracle.len());
+        for (k, st) in &grouped {
+            let &(c, s) = oracle.get(k).unwrap();
+            prop_assert_eq!(st.count, c);
+            prop_assert_eq!(st.sum, s);
+        }
+        // Sorted by key.
+        prop_assert!(grouped.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// Hash join and sort-merge join agree with the nested-loop oracle.
+    #[test]
+    fn joins_match_nested_loop(
+        left in proptest::collection::vec(-10i64..10, 0..60),
+        right in proptest::collection::vec(-10i64..10, 0..60)
+    ) {
+        let mut oracle = Vec::new();
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                if l == r {
+                    oracle.push((i as u32, j as u32));
+                }
+            }
+        }
+        oracle.sort_unstable();
+        let mut hj = HashJoin::build(&left).probe(&right);
+        hj.sort_unstable();
+        prop_assert_eq!(&hj, &oracle);
+        let mut smj = sort_merge_join(&left, &right);
+        smj.sort_unstable();
+        prop_assert_eq!(&smj, &oracle);
+    }
+}

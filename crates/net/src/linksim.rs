@@ -1,0 +1,139 @@
+//! Contention-aware transfer scheduling on virtual time.
+//!
+//! A link serves one transfer at a time (FIFO); concurrent requests
+//! queue. This small model is what the elasticity simulation (E12) and
+//! the distributed-shipping experiments use to get realistic completion
+//! times without real packets.
+
+use crate::topology::{NetError, NodeId, Topology};
+use haec_energy::units::{ByteCount, Joules};
+use haec_sim::time::SimTime;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A scheduled transfer's outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferOutcome {
+    /// When the link started serving this transfer.
+    pub started: SimTime,
+    /// When the last byte arrived.
+    pub finished: SimTime,
+}
+
+/// FIFO link scheduler over a [`Topology`].
+pub struct LinkSim<'t> {
+    topology: &'t Topology,
+    next_free: HashMap<(NodeId, NodeId), SimTime>,
+    total_energy: Joules,
+    transfers: u64,
+}
+
+impl<'t> LinkSim<'t> {
+    /// Creates a scheduler over `topology`.
+    pub fn new(topology: &'t Topology) -> Self {
+        LinkSim { topology, next_free: HashMap::new(), total_energy: Joules::ZERO, transfers: 0 }
+    }
+
+    /// Requests a transfer of `bytes` from `a` to `b` at time `now`;
+    /// returns when it starts (after queueing) and completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NoRoute`] if no enabled link exists.
+    pub fn request(
+        &mut self,
+        now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        bytes: ByteCount,
+    ) -> Result<TransferOutcome, NetError> {
+        let spec = self.topology.best_spec(a, b).ok_or(NetError::NoRoute(a, b))?;
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let free_at = self.next_free.get(&key).copied().unwrap_or(SimTime::ZERO);
+        let started = free_at.max(now);
+        let finished = started + spec.transfer_time(bytes);
+        self.next_free.insert(key, finished);
+        self.total_energy += spec.transfer_energy(bytes);
+        self.transfers += 1;
+        Ok(TransferOutcome { started, finished })
+    }
+
+    /// Total dynamic energy of all transfers so far.
+    pub fn total_energy(&self) -> Joules {
+        self.total_energy
+    }
+
+    /// Number of transfers served.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
+impl fmt::Debug for LinkSim<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LinkSim")
+            .field("transfers", &self.transfers)
+            .field("energy", &self.total_energy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkClass;
+
+    fn topo() -> Topology {
+        let mut t = Topology::new(3);
+        t.connect(NodeId(0), NodeId(1), LinkClass::Ethernet10G);
+        t.connect(NodeId(1), NodeId(2), LinkClass::Ethernet10G);
+        t
+    }
+
+    #[test]
+    fn sequential_transfers_queue() {
+        let t = topo();
+        let mut sim = LinkSim::new(&t);
+        let mb = ByteCount::from_mib(125); // ~105 ms on 10GbE
+        let first = sim.request(SimTime::ZERO, NodeId(0), NodeId(1), mb).unwrap();
+        let second = sim.request(SimTime::ZERO, NodeId(0), NodeId(1), mb).unwrap();
+        assert_eq!(second.started, first.finished, "FIFO on the same link");
+        assert!(second.finished > first.finished);
+    }
+
+    #[test]
+    fn different_links_run_in_parallel() {
+        let t = topo();
+        let mut sim = LinkSim::new(&t);
+        let mb = ByteCount::from_mib(125);
+        let a = sim.request(SimTime::ZERO, NodeId(0), NodeId(1), mb).unwrap();
+        let b = sim.request(SimTime::ZERO, NodeId(1), NodeId(2), mb).unwrap();
+        assert_eq!(a.started, b.started, "independent links do not queue");
+    }
+
+    #[test]
+    fn later_requests_start_later() {
+        let t = topo();
+        let mut sim = LinkSim::new(&t);
+        let start = SimTime::from_secs(5);
+        let out = sim.request(start, NodeId(0), NodeId(1), ByteCount::from_kib(1)).unwrap();
+        assert_eq!(out.started, start);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let t = topo();
+        let mut sim = LinkSim::new(&t);
+        sim.request(SimTime::ZERO, NodeId(0), NodeId(1), ByteCount::from_mib(1)).unwrap();
+        sim.request(SimTime::ZERO, NodeId(1), NodeId(2), ByteCount::from_mib(1)).unwrap();
+        assert!(sim.total_energy().joules() > 0.0);
+        assert_eq!(sim.transfers(), 2);
+    }
+
+    #[test]
+    fn no_route_is_error() {
+        let t = topo();
+        let mut sim = LinkSim::new(&t);
+        assert!(sim.request(SimTime::ZERO, NodeId(0), NodeId(2), ByteCount::new(1)).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Access-path selection: index lookup vs full scan (experiment E1).
+//!
+//! The paper's §IV example: "if a query can be answered using an index
+//! lookup instead of a table scan, fewer cycles are spent on that
+//! particular query" — i.e. classic cost-based access-path selection is
+//! already energy optimization. This module makes the decision with the
+//! dual-objective cost model, so the experiment can verify that the
+//! time-optimal and energy-optimal choices coincide on one node.
+
+use crate::catalog::TableMeta;
+use crate::cost::{CostModel, PlanCost};
+use haec_columnar::value::CmpOp;
+use std::fmt;
+
+/// The chosen access path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// Scan all rows, filter on the fly.
+    FullScan,
+    /// Resolve via the secondary index.
+    IndexLookup,
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPath::FullScan => f.write_str("full-scan"),
+            AccessPath::IndexLookup => f.write_str("index-lookup"),
+        }
+    }
+}
+
+/// The decision with both alternatives costed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccessDecision {
+    /// The chosen path.
+    pub path: AccessPath,
+    /// Estimated predicate selectivity.
+    pub selectivity: f64,
+    /// Cost of the scan alternative.
+    pub scan_cost: PlanCost,
+    /// Cost of the index alternative (`None` if no index exists).
+    pub index_cost: Option<PlanCost>,
+}
+
+impl AccessDecision {
+    /// The cost of the chosen path.
+    pub fn chosen_cost(&self) -> PlanCost {
+        match self.path {
+            AccessPath::FullScan => self.scan_cost,
+            AccessPath::IndexLookup => self.index_cost.expect("index path implies index cost"),
+        }
+    }
+}
+
+/// Estimates the selectivity of `column op literal` on `table`.
+pub fn estimate_selectivity(table: &TableMeta, column: &str, op: CmpOp, literal: i64) -> f64 {
+    let Some(col) = table.column(column) else {
+        return 0.5; // unknown column: fall back to a neutral guess
+    };
+    match op {
+        CmpOp::Eq => col.eq_selectivity(),
+        CmpOp::Ne => 1.0 - col.eq_selectivity(),
+        CmpOp::Lt => col.lt_selectivity(literal),
+        CmpOp::Le => col.lt_selectivity(literal + 1),
+        CmpOp::Gt => 1.0 - col.lt_selectivity(literal + 1),
+        CmpOp::Ge => 1.0 - col.lt_selectivity(literal),
+    }
+}
+
+/// Chooses the access path for `column op literal` on `table`, by
+/// predicted time (on a single node the energy ordering coincides; the
+/// experiment verifies this).
+pub fn choose_access(
+    model: &CostModel,
+    table: &TableMeta,
+    column: &str,
+    op: CmpOp,
+    literal: i64,
+) -> AccessDecision {
+    let sel = estimate_selectivity(table, column, op, literal);
+    let matches = (sel * table.rows as f64).ceil() as u64;
+    let scan_cost = model.scan(table.rows, table.row_bytes, sel);
+    let indexed = table.column(column).map(|c| c.indexed).unwrap_or(false)
+        && matches!(op, CmpOp::Eq | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge);
+    let index_cost = indexed.then(|| model.index_lookup(matches, table.row_bytes));
+    let path = match &index_cost {
+        Some(ic) if ic.time < scan_cost.time => AccessPath::IndexLookup,
+        _ => AccessPath::FullScan,
+    };
+    AccessDecision { path, selectivity: sel, scan_cost, index_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnMeta;
+    use haec_energy::machine::MachineSpec;
+
+    fn table(rows: u64, indexed: bool) -> TableMeta {
+        TableMeta {
+            name: "orders".into(),
+            rows,
+            row_bytes: 8,
+            columns: vec![ColumnMeta {
+                name: "id".into(),
+                ndv: rows,
+                min: 0,
+                max: rows as i64 - 1,
+                indexed,
+            }],
+        }
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(MachineSpec::commodity_2013())
+    }
+
+    #[test]
+    fn point_query_uses_index() {
+        let d = choose_access(&model(), &table(10_000_000, true), "id", CmpOp::Eq, 42);
+        assert_eq!(d.path, AccessPath::IndexLookup);
+        assert!(d.selectivity < 1e-6);
+        // And the index is better on BOTH objectives (the E1 claim).
+        let ic = d.index_cost.unwrap();
+        assert!(ic.time < d.scan_cost.time);
+        assert!(ic.energy.joules() < d.scan_cost.energy.joules());
+    }
+
+    #[test]
+    fn broad_range_uses_scan() {
+        let d = choose_access(&model(), &table(10_000_000, true), "id", CmpOp::Lt, 5_000_000);
+        assert_eq!(d.path, AccessPath::FullScan);
+        assert!((d.selectivity - 0.5).abs() < 0.01);
+        let ic = d.index_cost.unwrap();
+        assert!(d.scan_cost.time < ic.time);
+        assert!(d.scan_cost.energy.joules() < ic.energy.joules());
+    }
+
+    #[test]
+    fn no_index_forces_scan() {
+        let d = choose_access(&model(), &table(10_000_000, false), "id", CmpOp::Eq, 42);
+        assert_eq!(d.path, AccessPath::FullScan);
+        assert!(d.index_cost.is_none());
+        assert_eq!(d.chosen_cost(), d.scan_cost);
+    }
+
+    #[test]
+    fn ne_predicate_never_uses_index() {
+        let d = choose_access(&model(), &table(10_000_000, true), "id", CmpOp::Ne, 42);
+        assert_eq!(d.path, AccessPath::FullScan);
+        assert!(d.index_cost.is_none());
+    }
+
+    #[test]
+    fn unknown_column_neutral_selectivity() {
+        let sel = estimate_selectivity(&table(100, true), "nope", CmpOp::Eq, 1);
+        assert_eq!(sel, 0.5);
+    }
+
+    #[test]
+    fn selectivity_ops_consistent() {
+        let t = table(1000, true);
+        let eq = estimate_selectivity(&t, "id", CmpOp::Eq, 500);
+        let ne = estimate_selectivity(&t, "id", CmpOp::Ne, 500);
+        assert!((eq + ne - 1.0).abs() < 1e-9);
+        let lt = estimate_selectivity(&t, "id", CmpOp::Lt, 500);
+        let ge = estimate_selectivity(&t, "id", CmpOp::Ge, 500);
+        assert!((lt + ge - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossover_exists() {
+        // Somewhere between point and half the table, the decision must
+        // flip exactly once as selectivity rises.
+        let m = model();
+        let t = table(10_000_000, true);
+        let mut last = AccessPath::IndexLookup;
+        let mut flips = 0;
+        for exp in 0..=7 {
+            let lit = 10i64.pow(exp);
+            let d = choose_access(&m, &t, "id", CmpOp::Lt, lit);
+            if d.path != last {
+                flips += 1;
+                last = d.path;
+            }
+        }
+        assert_eq!(flips, 1, "expected exactly one crossover");
+        assert_eq!(last, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", AccessPath::IndexLookup), "index-lookup");
+    }
+}

@@ -1,0 +1,213 @@
+//! Energy-constrained plan selection: the decision logic of the paper's
+//! Fig. 2.
+//!
+//! Given candidate plans costed in (time, energy), the optimizer
+//! supports the two constrained modes the paper describes — fastest plan
+//! within an energy budget, cheapest plan within a deadline — plus the
+//! Pareto frontier for inspection.
+
+use crate::cost::PlanCost;
+use std::fmt;
+use std::time::Duration;
+
+use haec_energy::units::Joules;
+
+/// The optimization mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Goal {
+    /// Minimize time, unconstrained.
+    MinTime,
+    /// Minimize energy, unconstrained.
+    MinEnergy,
+    /// Minimize time subject to an energy budget per query.
+    MinTimeUnderEnergyBudget(
+        /// The budget.
+        Joules,
+    ),
+    /// Minimize energy subject to a response-time deadline.
+    MinEnergyUnderDeadline(
+        /// The deadline.
+        Duration,
+    ),
+}
+
+impl fmt::Display for Goal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Goal::MinTime => f.write_str("min-time"),
+            Goal::MinEnergy => f.write_str("min-energy"),
+            Goal::MinTimeUnderEnergyBudget(b) => write!(f, "min-time|E≤{:.2}J", b.joules()),
+            Goal::MinEnergyUnderDeadline(d) => write!(f, "min-energy|T≤{}ms", d.as_millis()),
+        }
+    }
+}
+
+/// Why no plan satisfied the goal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChooseError {
+    /// The candidate list was empty.
+    NoCandidates,
+    /// No candidate met the constraint (the caller should relax it —
+    /// "the individual response time of a query may suffer", §IV).
+    Infeasible,
+}
+
+impl fmt::Display for ChooseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChooseError::NoCandidates => f.write_str("no candidate plans"),
+            ChooseError::Infeasible => f.write_str("no plan satisfies the constraint"),
+        }
+    }
+}
+
+impl std::error::Error for ChooseError {}
+
+/// Picks the index of the best candidate under `goal`.
+///
+/// # Errors
+///
+/// [`ChooseError::NoCandidates`] on an empty slice;
+/// [`ChooseError::Infeasible`] if the constraint excludes every plan.
+pub fn choose(candidates: &[PlanCost], goal: Goal) -> Result<usize, ChooseError> {
+    if candidates.is_empty() {
+        return Err(ChooseError::NoCandidates);
+    }
+    let indexed = candidates.iter().enumerate();
+    let best = match goal {
+        Goal::MinTime => indexed.min_by(|a, b| a.1.time.cmp(&b.1.time)),
+        Goal::MinEnergy => indexed.min_by(|a, b| {
+            a.1.energy.joules().partial_cmp(&b.1.energy.joules()).expect("energy is not NaN")
+        }),
+        Goal::MinTimeUnderEnergyBudget(budget) => indexed
+            .filter(|(_, c)| c.energy.joules() <= budget.joules())
+            .min_by(|a, b| a.1.time.cmp(&b.1.time)),
+        Goal::MinEnergyUnderDeadline(deadline) => indexed
+            .filter(|(_, c)| c.time <= deadline)
+            .min_by(|a, b| {
+                a.1.energy.joules().partial_cmp(&b.1.energy.joules()).expect("energy is not NaN")
+            }),
+    };
+    best.map(|(i, _)| i).ok_or(ChooseError::Infeasible)
+}
+
+/// Returns the indices of Pareto-optimal candidates (no other plan is
+/// both faster and cheaper), sorted by ascending time.
+pub fn pareto_frontier(candidates: &[PlanCost]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..candidates.len()).collect();
+    idx.sort_by(|&a, &b| {
+        candidates[a]
+            .time
+            .cmp(&candidates[b].time)
+            .then(candidates[a].energy.joules().partial_cmp(&candidates[b].energy.joules()).expect("no NaN"))
+    });
+    let mut frontier = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for i in idx {
+        let e = candidates[i].energy.joules();
+        if e < best_energy {
+            frontier.push(i);
+            best_energy = e;
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plans() -> Vec<PlanCost> {
+        vec![
+            // 0: fast & hungry
+            PlanCost { time: Duration::from_millis(10), energy: Joules::new(50.0) },
+            // 1: slow & frugal
+            PlanCost { time: Duration::from_millis(100), energy: Joules::new(5.0) },
+            // 2: middle
+            PlanCost { time: Duration::from_millis(40), energy: Joules::new(20.0) },
+            // 3: dominated by 2 (slower AND hungrier)
+            PlanCost { time: Duration::from_millis(60), energy: Joules::new(30.0) },
+        ]
+    }
+
+    #[test]
+    fn unconstrained_goals() {
+        let p = plans();
+        assert_eq!(choose(&p, Goal::MinTime).unwrap(), 0);
+        assert_eq!(choose(&p, Goal::MinEnergy).unwrap(), 1);
+    }
+
+    #[test]
+    fn budget_tightens_choice() {
+        let p = plans();
+        // Generous budget: fastest plan.
+        assert_eq!(choose(&p, Goal::MinTimeUnderEnergyBudget(Joules::new(100.0))).unwrap(), 0);
+        // 25 J budget excludes plan 0: plan 2 is the fastest remaining.
+        assert_eq!(choose(&p, Goal::MinTimeUnderEnergyBudget(Joules::new(25.0))).unwrap(), 2);
+        // 10 J: only plan 1 qualifies.
+        assert_eq!(choose(&p, Goal::MinTimeUnderEnergyBudget(Joules::new(10.0))).unwrap(), 1);
+        // 1 J: infeasible.
+        assert_eq!(
+            choose(&p, Goal::MinTimeUnderEnergyBudget(Joules::new(1.0))).unwrap_err(),
+            ChooseError::Infeasible
+        );
+    }
+
+    #[test]
+    fn deadline_mirrors_budget() {
+        let p = plans();
+        assert_eq!(choose(&p, Goal::MinEnergyUnderDeadline(Duration::from_millis(200))).unwrap(), 1);
+        assert_eq!(choose(&p, Goal::MinEnergyUnderDeadline(Duration::from_millis(50))).unwrap(), 2);
+        assert_eq!(choose(&p, Goal::MinEnergyUnderDeadline(Duration::from_millis(15))).unwrap(), 0);
+        assert!(choose(&p, Goal::MinEnergyUnderDeadline(Duration::from_millis(1))).is_err());
+    }
+
+    #[test]
+    fn budget_sweep_is_monotone_in_time() {
+        // Fig. 2's shape: as the energy budget shrinks, chosen-plan time
+        // can only grow.
+        let p = plans();
+        let budgets = [100.0, 40.0, 25.0, 12.0, 6.0];
+        let mut last = Duration::ZERO;
+        for b in budgets {
+            let i = choose(&p, Goal::MinTimeUnderEnergyBudget(Joules::new(b))).unwrap();
+            assert!(p[i].time >= last, "time decreased at budget {b}");
+            last = p[i].time;
+        }
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert_eq!(choose(&[], Goal::MinTime).unwrap_err(), ChooseError::NoCandidates);
+    }
+
+    #[test]
+    fn pareto_excludes_dominated() {
+        let p = plans();
+        let f = pareto_frontier(&p);
+        assert_eq!(f, vec![0, 2, 1], "sorted by time, dominated plan 3 excluded");
+    }
+
+    #[test]
+    fn pareto_single_and_empty() {
+        assert!(pareto_frontier(&[]).is_empty());
+        let one = [PlanCost { time: Duration::from_millis(1), energy: Joules::new(1.0) }];
+        assert_eq!(pareto_frontier(&one), vec![0]);
+    }
+
+    #[test]
+    fn pareto_keeps_ties_minimal() {
+        let p = [
+            PlanCost { time: Duration::from_millis(10), energy: Joules::new(10.0) },
+            PlanCost { time: Duration::from_millis(10), energy: Joules::new(9.0) },
+        ];
+        let f = pareto_frontier(&p);
+        assert_eq!(f, vec![1]);
+    }
+
+    #[test]
+    fn displays() {
+        assert!(format!("{}", Goal::MinTimeUnderEnergyBudget(Joules::new(3.0))).contains("3.00"));
+        assert!(format!("{}", ChooseError::Infeasible).contains("constraint"));
+    }
+}

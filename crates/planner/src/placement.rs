@@ -1,0 +1,245 @@
+//! Hybrid operator placement: CPU vs co-processor, per phase.
+//!
+//! The paper (§IV.B): "while init()- and finish()-phases of operators
+//! may run on a CPU side, the actual work()-part of an operator may be
+//! scheduled on a GPU platform". This module enumerates the placement
+//! alternatives for a phased operator and costs them against a
+//! [`CoprocSpec`] — experiment E6 sweeps data size and link bandwidth to
+//! find where offloading pays.
+
+use crate::cost::PlanCost;
+use haec_energy::calibrate::{Kernel, KernelCosts};
+use haec_energy::machine::{CoprocSpec, MachineSpec};
+use haec_energy::pstate::CState;
+use haec_energy::units::{Joules, Watts};
+use std::fmt;
+use std::time::Duration;
+
+/// Where the operator's phases run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// All phases on the CPU.
+    CpuOnly,
+    /// init/finish on CPU, work() offloaded (the paper's hybrid).
+    HybridOffload,
+}
+
+impl Placement {
+    /// Both alternatives.
+    pub const ALL: [Placement; 2] = [Placement::CpuOnly, Placement::HybridOffload];
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::CpuOnly => f.write_str("cpu-only"),
+            Placement::HybridOffload => f.write_str("hybrid-offload"),
+        }
+    }
+}
+
+/// A phased operator's workload description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhasedOperator {
+    /// Items touched by init() (setup, partitioning) — always CPU.
+    pub init_items: u64,
+    /// Items processed by work() — offloadable.
+    pub work_items: u64,
+    /// Items touched by finish() (merge, result assembly) — always CPU.
+    pub finish_items: u64,
+    /// Bytes that must cross to the device if work() is offloaded.
+    pub transfer_bytes: u64,
+    /// CPU cost of one work() item in cycles — what separates memory-
+    /// bound scans (a few cycles, offload never pays once transfer is
+    /// counted) from compute-intensive operators like frequent-itemset
+    /// mining (paper ref [8]), where the device wins.
+    pub cpu_cycles_per_item: f64,
+}
+
+impl PhasedOperator {
+    /// A scan+aggregate over `rows` 8-byte values: trivial init, ~4
+    /// cycles per row, small finish. Memory-bound: the experiment shows
+    /// offload does NOT pay here once PCIe transfer is charged.
+    pub fn scan_aggregate(rows: u64) -> Self {
+        PhasedOperator {
+            init_items: 1024,
+            work_items: rows,
+            finish_items: 1024,
+            transfer_bytes: rows * 8,
+            cpu_cycles_per_item: 4.0,
+        }
+    }
+
+    /// A compute-intensive kernel (pattern matching / itemset mining,
+    /// paper ref [8]): ~80 CPU cycles per item, same transfer volume.
+    pub fn complex_kernel(rows: u64) -> Self {
+        PhasedOperator {
+            init_items: 1024,
+            work_items: rows,
+            finish_items: 1024,
+            transfer_bytes: rows * 8,
+            cpu_cycles_per_item: 80.0,
+        }
+    }
+}
+
+/// The placement decision with both alternatives costed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementDecision {
+    /// The chosen placement (by time).
+    pub placement: Placement,
+    /// Cost with everything on the CPU.
+    pub cpu_cost: PlanCost,
+    /// Cost with work() offloaded (`None` if the machine has no
+    /// co-processor).
+    pub hybrid_cost: Option<PlanCost>,
+}
+
+impl PlacementDecision {
+    /// The chosen alternative's cost.
+    pub fn chosen_cost(&self) -> PlanCost {
+        match self.placement {
+            Placement::CpuOnly => self.cpu_cost,
+            Placement::HybridOffload => self.hybrid_cost.expect("hybrid choice implies coproc"),
+        }
+    }
+}
+
+fn cpu_cycles_cost(machine: &MachineSpec, cycles: f64) -> PlanCost {
+    let table = machine.pstates();
+    let ps = table.fastest();
+    let cores = machine.cores() as f64;
+    let time = cycles / (table.state(ps).frequency().hertz() * cores);
+    let power = table.core_power(ps, CState::Active) * cores;
+    PlanCost {
+        time: Duration::from_secs_f64(time),
+        energy: power * Duration::from_secs_f64(time),
+    }
+}
+
+fn cpu_phase_cost(machine: &MachineSpec, costs: &KernelCosts, items: u64, kernel: Kernel) -> PlanCost {
+    cpu_cycles_cost(machine, costs.cycles_for(kernel, items).count() as f64)
+}
+
+/// Costs and chooses the placement of `op` on `machine` (with
+/// `machine.coproc()` as the candidate device).
+pub fn choose_placement(machine: &MachineSpec, costs: &KernelCosts, op: &PhasedOperator) -> PlacementDecision {
+    let init = cpu_phase_cost(machine, costs, op.init_items, Kernel::Materialize);
+    let finish = cpu_phase_cost(machine, costs, op.finish_items, Kernel::Materialize);
+    let cpu_work = cpu_cycles_cost(machine, op.work_items as f64 * op.cpu_cycles_per_item);
+    let cpu_cost = init + cpu_work + finish;
+
+    let hybrid_cost = machine.coproc().map(|c| coproc_work_cost(c, op) + init + finish);
+    let placement = match &hybrid_cost {
+        Some(h) if h.time < cpu_cost.time => Placement::HybridOffload,
+        _ => Placement::CpuOnly,
+    };
+    PlacementDecision { placement, cpu_cost, hybrid_cost }
+}
+
+fn coproc_work_cost(c: &CoprocSpec, op: &PhasedOperator) -> PlanCost {
+    let xfer = op.transfer_bytes as f64 / c.link_bandwidth;
+    let work = op.work_items as f64 / c.items_per_sec;
+    let time = c.launch_latency_s + xfer + work;
+    let busy = Watts::new(c.busy_w - c.idle_w) * Duration::from_secs_f64(c.launch_latency_s + work);
+    let link = Joules::new(op.transfer_bytes as f64 * c.link_pj_per_byte * 1e-12);
+    PlanCost { time: Duration::from_secs_f64(time), energy: busy + link }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_machine() -> MachineSpec {
+        MachineSpec::commodity_2013().with_coproc(CoprocSpec::kepler_gpu())
+    }
+
+    fn costs() -> KernelCosts {
+        KernelCosts::default_2013()
+    }
+
+    #[test]
+    fn no_coproc_means_cpu_only() {
+        let m = MachineSpec::commodity_2013();
+        let d = choose_placement(&m, &costs(), &PhasedOperator::scan_aggregate(100_000_000));
+        assert_eq!(d.placement, Placement::CpuOnly);
+        assert!(d.hybrid_cost.is_none());
+        assert_eq!(d.chosen_cost(), d.cpu_cost);
+    }
+
+    #[test]
+    fn tiny_work_stays_on_cpu() {
+        // Launch latency + transfer dominate small inputs.
+        let d = choose_placement(&gpu_machine(), &costs(), &PhasedOperator::complex_kernel(10_000));
+        assert_eq!(d.placement, Placement::CpuOnly);
+        let h = d.hybrid_cost.unwrap();
+        assert!(h.time > d.cpu_cost.time);
+    }
+
+    #[test]
+    fn memory_bound_scan_never_offloads() {
+        // The known 2013 result: a plain scan is cheaper on the CPU than
+        // shipping the data over PCIe, at any size.
+        let m = gpu_machine();
+        let k = costs();
+        for rows in [10_000u64, 10_000_000, 2_000_000_000] {
+            let d = choose_placement(&m, &k, &PhasedOperator::scan_aggregate(rows));
+            assert_eq!(d.placement, Placement::CpuOnly, "at {rows} rows");
+        }
+    }
+
+    #[test]
+    fn huge_complex_work_offloads() {
+        let d = choose_placement(&gpu_machine(), &costs(), &PhasedOperator::complex_kernel(2_000_000_000));
+        assert_eq!(d.placement, Placement::HybridOffload, "cpu {} vs hybrid {}", d.cpu_cost, d.hybrid_cost.unwrap());
+    }
+
+    #[test]
+    fn crossover_monotone_in_size() {
+        // Once offload wins it keeps winning as size grows.
+        let m = gpu_machine();
+        let k = costs();
+        let mut offloaded = false;
+        for rows in [1_000u64, 100_000, 10_000_000, 500_000_000, 5_000_000_000] {
+            let d = choose_placement(&m, &k, &PhasedOperator::complex_kernel(rows));
+            if offloaded {
+                assert_eq!(d.placement, Placement::HybridOffload, "regressed at {rows}");
+            }
+            offloaded = d.placement == Placement::HybridOffload;
+        }
+        assert!(offloaded, "offload never won");
+    }
+
+    #[test]
+    fn slow_link_blocks_offload() {
+        let mut gpu = CoprocSpec::kepler_gpu();
+        gpu.link_bandwidth = 50.0e6; // 50 MB/s: hopeless
+        let m = MachineSpec::commodity_2013().with_coproc(gpu);
+        let d = choose_placement(&m, &costs(), &PhasedOperator::scan_aggregate(2_000_000_000));
+        assert_eq!(d.placement, Placement::CpuOnly);
+    }
+
+    #[test]
+    fn phases_always_charged() {
+        // Hybrid still pays init+finish on the CPU: a pure-phase op
+        // (no work) costs the same either way.
+        let m = gpu_machine();
+        let op = PhasedOperator {
+            init_items: 1_000_000,
+            work_items: 0,
+            finish_items: 1_000_000,
+            transfer_bytes: 0,
+            cpu_cycles_per_item: 4.0,
+        };
+        let d = choose_placement(&m, &costs(), &op);
+        let h = d.hybrid_cost.unwrap();
+        // Hybrid adds only launch overhead-free zero work; times equal
+        // up to the zero-work device time.
+        assert!((h.time.as_secs_f64() - d.cpu_cost.time.as_secs_f64()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Placement::HybridOffload), "hybrid-offload");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: optimality and consistency invariants of the
+//! planners and the constrained chooser.
+
+use haec_energy::machine::MachineSpec;
+use haec_energy::units::Joules;
+use haec_planner::cost::{CostModel, PlanCost};
+use haec_planner::join_order::{plan_dp, plan_greedy, plan_left_deep, JoinGraph};
+use haec_planner::optimizer::{choose, pareto_frontier, Goal};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Random connected join graphs small enough for DP.
+fn graphs() -> impl Strategy<Value = JoinGraph> {
+    (2usize..9)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(1.0f64..1e6, n..=n),
+                proptest::collection::vec((0.0001f64..1.0, any::<u32>()), n - 1..=n - 1),
+                proptest::collection::vec((0usize..n, 0usize..n, 0.001f64..1.0), 0..3),
+            )
+        })
+        .prop_map(|(rows, spine, extra)| {
+            let n = rows.len();
+            let mut g = JoinGraph::new(rows);
+            // Random spanning tree: node i attaches to a random earlier node.
+            for (i, (sel, salt)) in spine.into_iter().enumerate() {
+                let target = (salt as usize) % (i + 1);
+                g.add_edge(i + 1, target, sel);
+            }
+            for (a, b, sel) in extra {
+                if a != b && n > 1 {
+                    g.add_edge(a % n, b % n, sel.clamp(0.001, 1.0));
+                }
+            }
+            g
+        })
+}
+
+fn plan_costs() -> impl Strategy<Value = Vec<PlanCost>> {
+    proptest::collection::vec((1u64..1_000_000, 0.001f64..1e4), 1..20).prop_map(|v| {
+        v.into_iter()
+            .map(|(us, j)| PlanCost { time: Duration::from_micros(us), energy: Joules::new(j) })
+            .collect()
+    })
+}
+
+proptest! {
+    /// DP is exact: never worse than either heuristic, and all planners
+    /// agree on the final cardinality (it is plan-invariant).
+    #[test]
+    fn dp_dominates_heuristics(g in graphs()) {
+        let dp = plan_dp(&g);
+        let gr = plan_greedy(&g);
+        let ld = plan_left_deep(&g);
+        prop_assert!(dp.cout <= gr.cout * (1.0 + 1e-9), "dp {} > greedy {}", dp.cout, gr.cout);
+        prop_assert!(dp.cout <= ld.cout * (1.0 + 1e-9), "dp {} > left-deep {}", dp.cout, ld.cout);
+        for other in [gr.final_card, ld.final_card] {
+            let rel = (dp.final_card - other).abs() / dp.final_card.max(1e-12);
+            prop_assert!(rel < 1e-6, "final card diverged: {} vs {}", dp.final_card, other);
+        }
+    }
+
+    /// Pareto frontier correctness: members are mutually undominated and
+    /// every non-member is dominated by some member.
+    #[test]
+    fn pareto_frontier_is_sound_and_complete(costs in plan_costs()) {
+        let frontier = pareto_frontier(&costs);
+        prop_assert!(!frontier.is_empty());
+        let dominates = |a: &PlanCost, b: &PlanCost| {
+            (a.time <= b.time && a.energy.joules() <= b.energy.joules())
+                && (a.time < b.time || a.energy.joules() < b.energy.joules())
+        };
+        for (i, &fa) in frontier.iter().enumerate() {
+            for &fb in frontier.iter().skip(i + 1) {
+                prop_assert!(!dominates(&costs[fa], &costs[fb]), "frontier member dominated");
+                prop_assert!(!dominates(&costs[fb], &costs[fa]), "frontier member dominated");
+            }
+        }
+        for i in 0..costs.len() {
+            if !frontier.contains(&i) {
+                let dominated = frontier.iter().any(|&f| {
+                    costs[f].time <= costs[i].time && costs[f].energy.joules() <= costs[i].energy.joules()
+                });
+                prop_assert!(dominated, "non-member {} escapes the frontier", i);
+            }
+        }
+    }
+
+    /// The constrained chooser really respects its constraint, and the
+    /// unconstrained goals pick global minima.
+    #[test]
+    fn chooser_respects_constraints(costs in plan_costs(), budget_j in 0.001f64..1e4, deadline_us in 1u64..1_000_000) {
+        let budget = Joules::new(budget_j);
+        let deadline = Duration::from_micros(deadline_us);
+        match choose(&costs, Goal::MinTimeUnderEnergyBudget(budget)) {
+            Ok(i) => {
+                prop_assert!(costs[i].energy.joules() <= budget.joules());
+                for c in &costs {
+                    if c.energy.joules() <= budget.joules() {
+                        prop_assert!(costs[i].time <= c.time);
+                    }
+                }
+            }
+            Err(_) => {
+                prop_assert!(costs.iter().all(|c| c.energy.joules() > budget.joules()));
+            }
+        }
+        match choose(&costs, Goal::MinEnergyUnderDeadline(deadline)) {
+            Ok(i) => {
+                prop_assert!(costs[i].time <= deadline);
+                for c in &costs {
+                    if c.time <= deadline {
+                        prop_assert!(costs[i].energy.joules() <= c.energy.joules());
+                    }
+                }
+            }
+            Err(_) => {
+                prop_assert!(costs.iter().all(|c| c.time > deadline));
+            }
+        }
+        let fastest = choose(&costs, Goal::MinTime).unwrap();
+        prop_assert!(costs.iter().all(|c| costs[fastest].time <= c.time));
+        let cheapest = choose(&costs, Goal::MinEnergy).unwrap();
+        prop_assert!(costs.iter().all(|c| costs[cheapest].energy.joules() <= c.energy.joules()));
+    }
+
+    /// Cost-model monotonicity: scans grow with rows and selectivity;
+    /// joins grow with either input.
+    #[test]
+    fn cost_model_monotone(rows in 1_000u64..10_000_000, sel in 0.0f64..1.0) {
+        let m = CostModel::new(MachineSpec::commodity_2013());
+        let base = m.scan(rows, 8, sel);
+        let more_rows = m.scan(rows * 2, 8, sel);
+        prop_assert!(more_rows.time >= base.time);
+        prop_assert!(more_rows.energy.joules() >= base.energy.joules());
+        let higher_sel = m.scan(rows, 8, (sel + 0.3).min(1.0));
+        prop_assert!(higher_sel.time >= base.time);
+        let j1 = m.hash_join(rows / 2, rows, rows / 4);
+        let j2 = m.hash_join(rows / 2, rows * 3, rows / 4);
+        prop_assert!(j2.time >= j1.time);
+    }
+}

@@ -1,0 +1,284 @@
+//! Elasticity in the large: cluster-level scale-out/in under a varying
+//! load trace (experiment E12).
+//!
+//! The paper calls "data-as-a-service … elasticity in the large" a core
+//! requirement (§II). This module simulates a cluster of identical
+//! nodes under a diurnal load curve and compares static provisioning
+//! against an elastic controller, reporting energy, SLA violations and
+//! the energy-proportionality of each policy.
+
+use haec_energy::machine::MachineSpec;
+use haec_energy::units::Joules;
+use std::fmt;
+use std::time::Duration;
+
+/// Provisioning policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Provisioning {
+    /// A fixed node count, sized for peak.
+    Static(
+        /// Number of nodes, always on.
+        usize,
+    ),
+    /// Scale to keep utilization near `target`, within `[min, max]`
+    /// nodes; booting a node takes `boot_steps` trace steps.
+    Elastic {
+        /// Desired per-node utilization (0–1).
+        target_utilization: f64,
+        /// Lower node bound.
+        min_nodes: usize,
+        /// Upper node bound.
+        max_nodes: usize,
+        /// Steps a booting node needs before serving load.
+        boot_steps: usize,
+    },
+}
+
+impl fmt::Display for Provisioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provisioning::Static(n) => write!(f, "static({n})"),
+            Provisioning::Elastic { target_utilization, .. } => {
+                write!(f, "elastic(u*={target_utilization:.2})")
+            }
+        }
+    }
+}
+
+/// A synthetic diurnal load trace in queries/second, one value per step.
+pub fn diurnal_trace(steps: usize, peak_qps: f64) -> Vec<f64> {
+    (0..steps)
+        .map(|i| {
+            let phase = i as f64 / steps as f64 * 2.0 * std::f64::consts::PI;
+            // Trough at ~20% of peak, mid-day peak, slight evening bump;
+            // clamped so `peak_qps` really is the maximum.
+            let base = (0.6 - 0.4 * phase.cos() + 0.08 * (2.0 * phase).sin()).clamp(0.0, 1.0);
+            base * peak_qps
+        })
+        .collect()
+}
+
+/// Result of one cluster simulation.
+#[derive(Clone, Debug)]
+pub struct ClusterSimResult {
+    /// Total cluster energy over the trace.
+    pub energy: Joules,
+    /// Trace steps in which offered load exceeded capacity.
+    pub sla_violations: usize,
+    /// Mean number of powered nodes.
+    pub avg_nodes: f64,
+    /// Energy proportionality: ratio of energy at the trough step to
+    /// energy at the peak step (1.0 = no proportionality, →0 = ideal).
+    pub trough_peak_energy_ratio: f64,
+    /// Per-step powered node counts (for plotting).
+    pub nodes_per_step: Vec<usize>,
+}
+
+/// Simulates `trace` (one step = `step` of wall time) over nodes of
+/// `machine`'s power profile, each able to serve `node_capacity_qps`.
+pub fn run_cluster_sim(
+    machine: &MachineSpec,
+    policy: Provisioning,
+    trace: &[f64],
+    node_capacity_qps: f64,
+    step: Duration,
+) -> ClusterSimResult {
+    assert!(node_capacity_qps > 0.0, "node capacity must be positive");
+    let idle_w = machine.idle_floor().watts();
+    let peak_w = machine.peak_power().watts();
+    let step_s = step.as_secs_f64();
+
+    let mut energy = 0.0;
+    let mut violations = 0usize;
+    let mut node_steps = 0.0;
+    let mut nodes_per_step = Vec::with_capacity(trace.len());
+    let mut step_energy = Vec::with_capacity(trace.len());
+
+    let mut active = match policy {
+        Provisioning::Static(n) => n,
+        Provisioning::Elastic { min_nodes, .. } => min_nodes,
+    };
+    // Nodes booting: vector of remaining boot steps.
+    let mut booting: Vec<usize> = Vec::new();
+
+    for &qps in trace {
+        // Elastic controller: decide before serving this step (it sees
+        // the current load, reacting with boot delay).
+        if let Provisioning::Elastic { target_utilization, min_nodes, max_nodes, boot_steps } = policy {
+            let desired = ((qps / (node_capacity_qps * target_utilization)).ceil() as usize)
+                .clamp(min_nodes, max_nodes);
+            let committed = active + booting.len();
+            if desired > committed {
+                for _ in committed..desired {
+                    booting.push(boot_steps);
+                }
+            } else if desired < active {
+                // Shut down instantly (drain ignored at this granularity).
+                active = desired;
+            }
+            // Progress boots.
+            for b in &mut booting {
+                *b = b.saturating_sub(1);
+            }
+            let ready = booting.iter().filter(|&&b| b == 0).count();
+            active += ready;
+            booting.retain(|&b| b > 0);
+        }
+
+        let capacity = active as f64 * node_capacity_qps;
+        if qps > capacity {
+            violations += 1;
+        }
+        let utilization = if capacity > 0.0 { (qps / capacity).min(1.0) } else { 1.0 };
+        // Linear power model per node between idle floor and peak; a
+        // booting node burns idle power.
+        let node_w = idle_w + (peak_w - idle_w) * utilization;
+        let e = (active as f64 * node_w + booting.len() as f64 * idle_w) * step_s;
+        energy += e;
+        step_energy.push(e);
+        node_steps += active as f64;
+        nodes_per_step.push(active);
+    }
+
+    // Proportionality: trough vs peak step energy.
+    let trough = step_energy.iter().copied().fold(f64::INFINITY, f64::min);
+    let peak = step_energy.iter().copied().fold(0.0, f64::max);
+    ClusterSimResult {
+        energy: Joules::new(energy),
+        sla_violations: violations,
+        avg_nodes: node_steps / trace.len().max(1) as f64,
+        trough_peak_energy_ratio: if peak > 0.0 { trough / peak } else { 1.0 },
+        nodes_per_step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::commodity_2013()
+    }
+
+    #[test]
+    fn diurnal_trace_shape() {
+        let t = diurnal_trace(96, 1000.0);
+        assert_eq!(t.len(), 96);
+        let min = t.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = t.iter().copied().fold(0.0, f64::max);
+        assert!(min >= 0.0);
+        assert!(max <= 1100.0);
+        assert!(max / min.max(1.0) > 3.0, "diurnal swing too small: {min}..{max}");
+        // Peak is mid-trace (afternoon), not at the edges.
+        let peak_idx = t.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!(peak_idx > 20 && peak_idx < 80, "peak at {peak_idx}");
+    }
+
+    #[test]
+    fn elastic_saves_energy_vs_static_peak() {
+        let m = machine();
+        let trace = diurnal_trace(96, 800.0);
+        let static_peak = run_cluster_sim(&m, Provisioning::Static(8), &trace, 100.0, Duration::from_secs(900));
+        let elastic = run_cluster_sim(
+            &m,
+            Provisioning::Elastic { target_utilization: 0.85, min_nodes: 1, max_nodes: 8, boot_steps: 1 },
+            &trace,
+            100.0,
+            Duration::from_secs(900),
+        );
+        assert!(
+            elastic.energy.joules() < static_peak.energy.joules() * 0.85,
+            "elastic {} J vs static {} J",
+            elastic.energy.joules(),
+            static_peak.energy.joules()
+        );
+        assert!(elastic.avg_nodes < static_peak.avg_nodes);
+    }
+
+    #[test]
+    fn static_peak_has_no_violations() {
+        let m = machine();
+        let trace = diurnal_trace(96, 800.0);
+        let r = run_cluster_sim(&m, Provisioning::Static(8), &trace, 100.0, Duration::from_secs(900));
+        assert_eq!(r.sla_violations, 0);
+    }
+
+    #[test]
+    fn static_underprovisioned_violates() {
+        let m = machine();
+        let trace = diurnal_trace(96, 800.0);
+        let r = run_cluster_sim(&m, Provisioning::Static(2), &trace, 100.0, Duration::from_secs(900));
+        assert!(r.sla_violations > 10, "violations {}", r.sla_violations);
+    }
+
+    #[test]
+    fn boot_delay_costs_violations() {
+        let m = machine();
+        // A sharper trace with fast ramp.
+        let trace = diurnal_trace(48, 1000.0);
+        let fast = run_cluster_sim(
+            &m,
+            Provisioning::Elastic { target_utilization: 0.8, min_nodes: 1, max_nodes: 10, boot_steps: 1 },
+            &trace,
+            100.0,
+            Duration::from_secs(900),
+        );
+        let slow = run_cluster_sim(
+            &m,
+            Provisioning::Elastic { target_utilization: 0.8, min_nodes: 1, max_nodes: 10, boot_steps: 6 },
+            &trace,
+            100.0,
+            Duration::from_secs(900),
+        );
+        assert!(slow.sla_violations >= fast.sla_violations, "{} vs {}", slow.sla_violations, fast.sla_violations);
+    }
+
+    #[test]
+    fn elastic_improves_energy_proportionality() {
+        let m = machine();
+        let trace = diurnal_trace(96, 800.0);
+        let stat = run_cluster_sim(&m, Provisioning::Static(8), &trace, 100.0, Duration::from_secs(900));
+        let elas = run_cluster_sim(
+            &m,
+            Provisioning::Elastic { target_utilization: 0.7, min_nodes: 1, max_nodes: 8, boot_steps: 1 },
+            &trace,
+            100.0,
+            Duration::from_secs(900),
+        );
+        assert!(
+            elas.trough_peak_energy_ratio < stat.trough_peak_energy_ratio,
+            "elastic {} vs static {}",
+            elas.trough_peak_energy_ratio,
+            stat.trough_peak_energy_ratio
+        );
+    }
+
+    #[test]
+    fn nodes_track_load() {
+        let m = machine();
+        let trace = diurnal_trace(96, 800.0);
+        let r = run_cluster_sim(
+            &m,
+            Provisioning::Elastic { target_utilization: 0.7, min_nodes: 1, max_nodes: 8, boot_steps: 1 },
+            &trace,
+            100.0,
+            Duration::from_secs(900),
+        );
+        let peak_load_idx = trace.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let trough_load_idx = trace.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!(r.nodes_per_step[peak_load_idx] > r.nodes_per_step[trough_load_idx]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        run_cluster_sim(&machine(), Provisioning::Static(1), &[1.0], 0.0, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Provisioning::Static(4)), "static(4)");
+        let e = Provisioning::Elastic { target_utilization: 0.7, min_nodes: 1, max_nodes: 8, boot_steps: 2 };
+        assert!(format!("{e}").contains("0.70"));
+    }
+}

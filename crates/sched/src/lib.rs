@@ -1,0 +1,50 @@
+//! # haec-sched
+//!
+//! Energy-aware scheduling: DVFS governors, core parking, the
+//! energy-capped query server, and cluster elasticity — the runtime
+//! policies of the `haecdb` reproduction of *Lehner, "Energy-Efficient
+//! In-Memory Database Computing" (DATE 2013)*.
+//!
+//! This crate regenerates the paper's Fig. 2 ("Impact of Energy
+//! Constraint on Query Optimization") and the idle-power argument:
+//!
+//! * [`governor`] — race-to-idle / pace-to-deadline / ondemand /
+//!   energy-cap P-state policies.
+//! * [`server`] — a deterministic single-node query-server simulation
+//!   that integrates power over virtual time under a chosen governor
+//!   (experiments E2 and E11).
+//! * [`elastic`] — "elasticity in the large": diurnal load on a cluster,
+//!   static vs elastic provisioning, energy proportionality
+//!   (experiment E12).
+//!
+//! ## Example
+//!
+//! ```
+//! use haec_sched::prelude::*;
+//! use std::time::Duration;
+//!
+//! let mut cfg = ServerSimConfig::default_mix();
+//! cfg.horizon = Duration::from_secs(5);
+//! cfg.governor = GovernorPolicy::RaceToIdle;
+//! let result = run_server_sim(&cfg);
+//! assert!(result.completed > 0);
+//! assert!(result.energy.joules() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod elastic;
+pub mod governor;
+pub mod server;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::elastic::{diurnal_trace, run_cluster_sim, ClusterSimResult, Provisioning};
+    pub use crate::governor::{decide, GovernorDecision, GovernorInput, GovernorPolicy};
+    pub use crate::server::{run_server_sim, ServerSimConfig, ServerSimResult};
+}
+
+pub use elastic::{run_cluster_sim, Provisioning};
+pub use governor::GovernorPolicy;
+pub use server::{run_server_sim, ServerSimConfig, ServerSimResult};

@@ -1,0 +1,107 @@
+//! Property-based tests: governor envelopes and simulation determinism.
+
+use haec_energy::pstate::{CState, PStateTable};
+use haec_energy::units::Watts;
+use haec_sched::elastic::{diurnal_trace, run_cluster_sim, Provisioning};
+use haec_sched::governor::{decide, GovernorInput, GovernorPolicy};
+use haec_sched::server::{run_server_sim, ServerSimConfig};
+use haec_energy::machine::MachineSpec;
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    /// The energy-cap governor never configures a core allocation whose
+    /// all-busy power exceeds the cap (unless forced to the 1-core
+    /// minimum), for arbitrary caps and queue states.
+    #[test]
+    fn energy_cap_always_within_budget(cap_w in 1.0f64..300.0, queued in 0usize..64, busy in 0usize..8) {
+        let table = PStateTable::xeon_2013();
+        let input = GovernorInput {
+            queued,
+            busy_cores: busy.min(8),
+            total_cores: 8,
+            head_work_cycles: 1_000_000,
+            current: table.slowest(),
+        };
+        let d = decide(GovernorPolicy::EnergyCap(Watts::new(cap_w)), &table, input);
+        let power = table.core_power(d.pstate, CState::Active).watts() * d.core_cap as f64;
+        prop_assert!(power <= cap_w + 1e-9 || d.core_cap == 1, "{power} W over {cap_w} W cap");
+        prop_assert!(d.core_cap >= 1 && d.core_cap <= 8);
+    }
+
+    /// A larger budget never yields a lower cycle-throughput
+    /// configuration.
+    #[test]
+    fn energy_cap_monotone(cap_lo in 1.0f64..150.0, extra in 0.0f64..150.0) {
+        let table = PStateTable::xeon_2013();
+        let input = GovernorInput {
+            queued: 16,
+            busy_cores: 0,
+            total_cores: 8,
+            head_work_cycles: 1_000_000,
+            current: table.slowest(),
+        };
+        let score = |cap: f64| {
+            let d = decide(GovernorPolicy::EnergyCap(Watts::new(cap)), &table, input);
+            d.core_cap as f64 * table.state(d.pstate).frequency().hertz()
+        };
+        prop_assert!(score(cap_lo + extra) >= score(cap_lo) - 1e-6);
+    }
+
+    /// The server simulation is a pure function of its config (same seed
+    /// → identical results; different seeds → same completion ballpark).
+    #[test]
+    fn server_sim_deterministic(seed in any::<u64>(), rate in 5.0f64..80.0) {
+        let mut cfg = ServerSimConfig::default_mix();
+        cfg.seed = seed;
+        cfg.arrival_rate = rate;
+        cfg.horizon = Duration::from_secs(5);
+        let a = run_server_sim(&cfg);
+        let b = run_server_sim(&cfg);
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.energy, b.energy);
+        prop_assert!(a.utilization >= 0.0 && a.utilization <= 1.0);
+    }
+
+    /// Pace-to-deadline never beats race-to-idle on median latency.
+    #[test]
+    fn pace_never_faster_than_race(seed in any::<u64>()) {
+        let mut cfg = ServerSimConfig::default_mix();
+        cfg.seed = seed;
+        cfg.arrival_rate = 20.0;
+        cfg.horizon = Duration::from_secs(8);
+        cfg.governor = GovernorPolicy::RaceToIdle;
+        let race = run_server_sim(&cfg);
+        cfg.governor = GovernorPolicy::PaceToDeadline(Duration::from_millis(300));
+        let pace = run_server_sim(&cfg);
+        let r50 = race.response.quantile(0.5).unwrap_or(0);
+        let p50 = pace.response.quantile(0.5).unwrap_or(0);
+        prop_assert!(p50 >= r50, "pace p50 {} < race p50 {}", p50, r50);
+    }
+
+    /// Elastic provisioning: a wider node ceiling never increases SLA
+    /// violations; energy scales with the ceiling only as far as load
+    /// demands.
+    #[test]
+    fn elasticity_sane(peak in 100.0f64..1200.0, max_nodes in 2usize..12) {
+        let machine = MachineSpec::commodity_2013();
+        let trace = diurnal_trace(48, peak);
+        let step = Duration::from_secs(900);
+        let small = run_cluster_sim(
+            &machine,
+            Provisioning::Elastic { target_utilization: 0.8, min_nodes: 1, max_nodes, boot_steps: 1 },
+            &trace,
+            100.0,
+            step,
+        );
+        let large = run_cluster_sim(
+            &machine,
+            Provisioning::Elastic { target_utilization: 0.8, min_nodes: 1, max_nodes: max_nodes + 4, boot_steps: 1 },
+            &trace,
+            100.0,
+            step,
+        );
+        prop_assert!(large.sla_violations <= small.sla_violations);
+        prop_assert!(small.avg_nodes <= max_nodes as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Access-temperature tracking and density classification.
+//!
+//! The paper distinguishes "high-density" data (business-critical,
+//! point-accessed, belongs in memory) from "low-density" data (sensor /
+//! click-stream, scanned in bulk, belongs on cheap disks). Placement
+//! needs two signals: *how hot* a segment currently is (exponentially
+//! decayed access frequency) and *what kind* of data it is.
+
+use std::fmt;
+
+/// The paper's data-density classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DensityClass {
+    /// Business-critical objects under transactional point access.
+    High,
+    /// Append-mostly statistical data queried by massive scans.
+    Low,
+}
+
+impl fmt::Display for DensityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DensityClass::High => f.write_str("high-density"),
+            DensityClass::Low => f.write_str("low-density"),
+        }
+    }
+}
+
+/// The kind of access recorded against a segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A point lookup (touches one block).
+    Point,
+    /// A bulk scan (touches the whole segment).
+    Scan,
+}
+
+/// Exponentially decayed access-frequency estimator.
+///
+/// `record` bumps the temperature; `decay(dt)` halves it every
+/// `half_life` seconds of inactivity. The result is a stable hotness
+/// score in accesses-per-halflife units.
+///
+/// ```
+/// use haec_storage::temperature::Temperature;
+/// let mut t = Temperature::new(60.0);
+/// t.record(1.0);
+/// t.record(1.0);
+/// assert!(t.value() > 1.9);
+/// t.decay(60.0);                 // one half-life passes
+/// assert!((t.value() - 1.0).abs() < 0.05);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Temperature {
+    value: f64,
+    half_life_s: f64,
+}
+
+impl Temperature {
+    /// Creates a cold tracker with the given half-life in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life_s` is not strictly positive.
+    pub fn new(half_life_s: f64) -> Self {
+        assert!(half_life_s > 0.0, "half-life must be positive");
+        Temperature { value: 0.0, half_life_s }
+    }
+
+    /// Adds `weight` heat (1.0 per point access; scans typically weigh
+    /// by blocks touched).
+    pub fn record(&mut self, weight: f64) {
+        self.value += weight;
+    }
+
+    /// Applies `dt_s` seconds of exponential decay.
+    pub fn decay(&mut self, dt_s: f64) {
+        if dt_s > 0.0 {
+            self.value *= 0.5f64.powf(dt_s / self.half_life_s);
+        }
+    }
+
+    /// The current hotness score.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for Temperature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut t = Temperature::new(10.0);
+        assert_eq!(t.value(), 0.0);
+        t.record(1.0);
+        t.record(2.5);
+        assert!((t.value() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_halves_per_half_life() {
+        let mut t = Temperature::new(10.0);
+        t.record(8.0);
+        t.decay(10.0);
+        assert!((t.value() - 4.0).abs() < 1e-9);
+        t.decay(20.0);
+        assert!((t.value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dt_is_noop() {
+        let mut t = Temperature::new(10.0);
+        t.record(5.0);
+        t.decay(0.0);
+        assert_eq!(t.value(), 5.0);
+    }
+
+    #[test]
+    fn hot_beats_cold_after_decay() {
+        let mut hot = Temperature::new(60.0);
+        let mut cold = Temperature::new(60.0);
+        for _ in 0..100 {
+            hot.record(1.0);
+        }
+        cold.record(1.0);
+        hot.decay(600.0);
+        cold.decay(600.0);
+        assert!(hot.value() > cold.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn bad_half_life_panics() {
+        let _ = Temperature::new(0.0);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", DensityClass::Low), "low-density");
+        let t = Temperature::new(1.0);
+        assert_eq!(format!("{t}"), "0.000");
+    }
+}

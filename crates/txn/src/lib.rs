@@ -1,0 +1,52 @@
+//! # haec-txn
+//!
+//! Concurrency control, redo logging and database conversations — the
+//! transactional substrate of the `haecdb` reproduction of *Lehner,
+//! "Energy-Efficient In-Memory Database Computing" (DATE 2013)*.
+//!
+//! The paper touches transactions in three places, each mapped to a
+//! module here:
+//!
+//! * §III "enhanced synchronization methods" + [18] → [`mvcc`]:
+//!   multi-version storage with snapshot isolation, serializable OCC
+//!   (the software analogue of TSX-style optimism), and a no-wait 2PL
+//!   baseline — experiment E10 charts their contention behaviour.
+//! * §III "multi-level reliability" + [19] → [`log`]: REDO logging with
+//!   per-flush [`log::ReliabilityLevel`] QoS (volatile / local /
+//!   replicated-k) and modelled latency/energy — experiment E15.
+//! * §IV.A "database conversations" → [`conversation`]: long-lived
+//!   application-private branches with explicit merge policies.
+//!
+//! ## Example
+//!
+//! ```
+//! use haec_txn::prelude::*;
+//!
+//! let db = TxnManager::new(CcScheme::SerializableOcc);
+//! let mut t = db.begin();
+//! t.write(1, 10);
+//! let ts = db.commit(t)?;
+//! assert!(ts > Timestamp::ZERO);
+//! # Ok::<(), haec_txn::mvcc::CommitError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conversation;
+pub mod log;
+pub mod mvcc;
+pub mod oracle;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::conversation::{Conversation, MergePolicy, MergeReport};
+    pub use crate::log::{CommitReceipt, Lsn, RedoLog, ReliabilityLevel};
+    pub use crate::mvcc::{CcScheme, CommitError, Transaction, TxnManager};
+    pub use crate::oracle::{Timestamp, TimestampOracle};
+}
+
+pub use conversation::{Conversation, MergePolicy};
+pub use log::{RedoLog, ReliabilityLevel};
+pub use mvcc::{CcScheme, CommitError, Transaction, TxnManager};
+pub use oracle::{Timestamp, TimestampOracle};

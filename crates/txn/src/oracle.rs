@@ -1,0 +1,97 @@
+//! The timestamp oracle: a wait-free source of monotonically increasing
+//! logical timestamps shared by all transactions.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Logical timestamp newtype.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The timestamp before any transaction.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// A timestamp later than every real one ("infinity", open version
+    /// end).
+    pub const INF: Timestamp = Timestamp(u64::MAX);
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Timestamp::INF {
+            f.write_str("∞")
+        } else {
+            write!(f, "ts{}", self.0)
+        }
+    }
+}
+
+/// Hands out timestamps; one `fetch_add` per call, safe from any thread.
+#[derive(Debug, Default)]
+pub struct TimestampOracle {
+    next: AtomicU64,
+}
+
+impl TimestampOracle {
+    /// Creates an oracle starting at timestamp 1 (0 is reserved as the
+    /// pre-history timestamp).
+    pub fn new() -> Self {
+        TimestampOracle { next: AtomicU64::new(1) }
+    }
+
+    /// Returns the next timestamp, strictly greater than all previous.
+    pub fn next(&self) -> Timestamp {
+        Timestamp(self.next.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// The most recently issued timestamp (0 if none yet).
+    pub fn current(&self) -> Timestamp {
+        Timestamp(self.next.load(Ordering::SeqCst).saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn monotonically_increasing() {
+        let o = TimestampOracle::new();
+        let a = o.next();
+        let b = o.next();
+        assert!(b > a);
+        assert_eq!(o.current(), b);
+    }
+
+    #[test]
+    fn starts_after_zero() {
+        let o = TimestampOracle::new();
+        assert_eq!(o.current(), Timestamp::ZERO);
+        assert!(o.next() > Timestamp::ZERO);
+    }
+
+    #[test]
+    fn unique_across_threads() {
+        let o = Arc::new(TimestampOracle::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let o = Arc::clone(&o);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| o.next().0).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate timestamps issued");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Timestamp(5)), "ts5");
+        assert_eq!(format!("{}", Timestamp::INF), "∞");
+    }
+}

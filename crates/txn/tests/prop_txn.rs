@@ -1,0 +1,142 @@
+//! Property-based tests: isolation invariants of the MVCC store and
+//! conversation merge semantics against a sequential oracle.
+
+use haec_txn::conversation::{Conversation, MergePolicy};
+use haec_txn::mvcc::{CcScheme, TxnManager};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A tiny workload language: per-transaction batches of writes.
+fn batches() -> impl Strategy<Value = Vec<Vec<(i64, i64)>>> {
+    proptest::collection::vec(proptest::collection::vec((0i64..8, -100i64..100), 1..4), 1..20)
+}
+
+proptest! {
+    /// Sequential transactions applied through MVCC equal a HashMap
+    /// replay — committed state is exactly the serial history.
+    #[test]
+    fn sequential_commits_match_oracle(batches in batches()) {
+        let mgr = TxnManager::new(CcScheme::SnapshotIsolation);
+        let mut oracle: HashMap<i64, i64> = HashMap::new();
+        for batch in &batches {
+            let mut t = mgr.begin();
+            for &(k, v) in batch {
+                t.write(k, v);
+                oracle.insert(k, v);
+            }
+            prop_assert!(mgr.commit(t).is_ok(), "sequential txns never conflict");
+        }
+        for (k, v) in &oracle {
+            prop_assert_eq!(mgr.read_latest(*k), Some(*v), "key {}", k);
+        }
+    }
+
+    /// Snapshot stability: whatever concurrent writers commit, a reader
+    /// sees exactly the state as of its begin timestamp.
+    #[test]
+    fn snapshots_are_frozen(
+        pre in proptest::collection::vec((0i64..8, -100i64..100), 1..10),
+        post in proptest::collection::vec((0i64..8, -100i64..100), 1..10),
+    ) {
+        let mgr = TxnManager::new(CcScheme::SnapshotIsolation);
+        let mut expected: HashMap<i64, i64> = HashMap::new();
+        let mut setup = mgr.begin();
+        for &(k, v) in &pre {
+            setup.write(k, v);
+            expected.insert(k, v);
+        }
+        mgr.commit(setup).unwrap();
+
+        let mut reader = mgr.begin();
+        // Concurrent writers overwrite everything afterwards.
+        for &(k, v) in &post {
+            let mut w = mgr.begin();
+            w.write(k, v.wrapping_add(1000));
+            mgr.commit(w).unwrap();
+        }
+        for (k, v) in &expected {
+            prop_assert_eq!(reader.read(&mgr, *k), Some(*v), "key {}", k);
+        }
+    }
+
+    /// First-committer-wins: of two conflicting writers, exactly one
+    /// commits, and the surviving value is the winner's.
+    #[test]
+    fn exactly_one_of_two_conflicting_writers(key in 0i64..4, va in -50i64..50, vb in 51i64..100) {
+        let mgr = TxnManager::new(CcScheme::SnapshotIsolation);
+        let mut a = mgr.begin();
+        let mut b = mgr.begin();
+        a.write(key, va);
+        b.write(key, vb);
+        let ra = mgr.commit(a);
+        let rb = mgr.commit(b);
+        prop_assert!(ra.is_ok() && rb.is_err(), "first committer must win deterministically");
+        prop_assert_eq!(mgr.read_latest(key), Some(va));
+    }
+
+    /// Vacuum never changes the visible latest state.
+    #[test]
+    fn vacuum_preserves_latest(batches in batches()) {
+        let mgr = TxnManager::new(CcScheme::SnapshotIsolation);
+        for batch in &batches {
+            let mut t = mgr.begin();
+            for &(k, v) in batch {
+                t.write(k, v);
+            }
+            mgr.commit(t).unwrap();
+        }
+        let before: Vec<(i64, Option<i64>)> = (0..8).map(|k| (k, mgr.read_latest(k))).collect();
+        mgr.vacuum(mgr.begin().start_ts());
+        for (k, v) in before {
+            prop_assert_eq!(mgr.read_latest(k), v, "key {}", k);
+        }
+    }
+
+    /// Conversation merge with `Ours` equals overlay-over-base; with
+    /// `Theirs` conflicting keys keep the main value.
+    #[test]
+    fn conversation_merge_policies_match_oracle(
+        base in proptest::collection::vec((0i64..6, -100i64..100), 1..8),
+        conv_writes in proptest::collection::vec((0i64..6, 200i64..300), 1..8),
+        concurrent in proptest::collection::vec((0i64..6, 400i64..500), 0..4),
+        ours in any::<bool>(),
+    ) {
+        let mgr = TxnManager::new(CcScheme::SnapshotIsolation);
+        let mut setup = mgr.begin();
+        for &(k, v) in &base {
+            setup.write(k, v);
+        }
+        mgr.commit(setup).unwrap();
+
+        let mut conv = Conversation::fork(&mgr, "p");
+        let mut overlay: HashMap<i64, i64> = HashMap::new();
+        for &(k, v) in &conv_writes {
+            conv.put(k, v);
+            overlay.insert(k, v);
+        }
+        let mut conflicted: HashMap<i64, i64> = HashMap::new();
+        for &(k, v) in &concurrent {
+            let mut t = mgr.begin();
+            t.write(k, v);
+            mgr.commit(t).unwrap();
+            conflicted.insert(k, v);
+        }
+        let policy = if ours { MergePolicy::Ours } else { MergePolicy::Theirs };
+        let report = conv.merge(&mgr, policy).unwrap();
+        for (k, v) in &overlay {
+            let got = mgr.read_latest(*k);
+            match policy {
+                MergePolicy::Ours => prop_assert_eq!(got, Some(*v), "ours keeps overlay for {}", k),
+                MergePolicy::Theirs => {
+                    if let Some(main) = conflicted.get(k) {
+                        prop_assert_eq!(got, Some(*main), "theirs keeps main for {}", k);
+                    } else {
+                        prop_assert_eq!(got, Some(*v), "clean key applies for {}", k);
+                    }
+                }
+                MergePolicy::Abort => unreachable!(),
+            }
+        }
+        prop_assert_eq!(report.applied + report.dropped, overlay.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! A reconfigurable operator in action: the adaptive selection kernel
+//! re-decides as data characteristics drift (§IV.B, Ross TODS'04).
+//!
+//! ```text
+//! cargo run --release --example adaptive_scan
+//! ```
+
+use haec_columnar::value::CmpOp;
+use haec_exec::select::AdaptiveSelect;
+
+/// Generates one 64k batch whose selectivity under `v < 0` is `sel`.
+fn batch(sel: f64, salt: u64) -> Vec<i64> {
+    let n = 65_536usize;
+    (0..n)
+        .map(|i| {
+            let h = (i as u64 ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+            if (h as f64) < sel * ((1u64 << 24) as f64) {
+                -1
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut op = AdaptiveSelect::new(CmpOp::Lt, 0);
+    println!("phase        batch  observed-sel  kernel-in-use   switches");
+
+    // Three workload phases: almost-nothing matches, half matches,
+    // almost-everything matches.
+    let phases = [("sparse", 0.002), ("mixed", 0.5), ("dense", 0.995)];
+    let mut batch_no = 0;
+    for (name, sel) in phases {
+        for _ in 0..6 {
+            batch_no += 1;
+            let data = batch(sel, batch_no);
+            let before = op.current_kernel();
+            let (hits, stats) = op.run(&data);
+            let observed = hits.len() as f64 / data.len() as f64;
+            println!(
+                "{:<12} {:>5} {:>12.4}  {:<15} {:>7}{}",
+                name,
+                batch_no,
+                observed,
+                format!("{before}"),
+                op.switches(),
+                if op.current_kernel() != before {
+                    format!("  -> switching to {}", op.current_kernel())
+                } else {
+                    String::new()
+                }
+            );
+            let _ = stats;
+        }
+    }
+    println!(
+        "\n{} batches, {} reconfigurations, final kernel: {}",
+        op.batches(),
+        op.switches(),
+        op.current_kernel()
+    );
+    println!("the operator tracked the selectivity drift without any external tuning.");
+}

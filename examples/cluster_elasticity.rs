@@ -1,0 +1,59 @@
+//! Elasticity in the large (§II): a day of diurnal load on a simulated
+//! cluster, static vs elastic provisioning.
+//!
+//! ```text
+//! cargo run --release --example cluster_elasticity
+//! ```
+
+use haec_energy::machine::MachineSpec;
+use haec_sched::elastic::{diurnal_trace, run_cluster_sim, Provisioning};
+use std::time::Duration;
+
+fn main() {
+    let machine = MachineSpec::commodity_2013();
+    let trace = diurnal_trace(96, 800.0); // 24h in 15-min steps, peak 800 q/s
+    let step = Duration::from_secs(900);
+    let per_node = 100.0;
+
+    println!("simulated day: peak 800 q/s, trough ~160 q/s, nodes serve {per_node} q/s\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>18}",
+        "policy", "energy kWh", "violations", "avg nodes", "trough/peak energy"
+    );
+    let mut baseline = 0.0;
+    for policy in [
+        Provisioning::Static(8),
+        Provisioning::Static(5),
+        Provisioning::Elastic { target_utilization: 0.85, min_nodes: 1, max_nodes: 8, boot_steps: 1 },
+    ] {
+        let out = run_cluster_sim(&machine, policy, &trace, per_node, step);
+        let kwh = out.energy.watt_hours() / 1000.0;
+        if matches!(policy, Provisioning::Static(8)) {
+            baseline = kwh;
+        }
+        println!(
+            "{:<22} {:>12.2} {:>12} {:>10.1} {:>18.2}",
+            format!("{policy}"),
+            kwh,
+            out.sla_violations,
+            out.avg_nodes,
+            out.trough_peak_energy_ratio
+        );
+    }
+
+    let elastic = run_cluster_sim(
+        &machine,
+        Provisioning::Elastic { target_utilization: 0.85, min_nodes: 1, max_nodes: 8, boot_steps: 1 },
+        &trace,
+        per_node,
+        step,
+    );
+    println!(
+        "\nnode count over the day (one char per step): {}",
+        elastic.nodes_per_step.iter().map(|&n| char::from_digit(n as u32, 10).unwrap_or('+')).collect::<String>()
+    );
+    println!(
+        "\nelastic saves {:.0}% of the peak-static energy bill with zero SLA violations.",
+        (1.0 - (elastic.energy.watt_hours() / 1000.0) / baseline) * 100.0
+    );
+}

@@ -1,0 +1,62 @@
+//! "Compressed or uncompressed?" — the paper's worked optimizer example,
+//! across the whole link zoo including HAEC-style reconfigurable links.
+//!
+//! ```text
+//! cargo run --release --example compressed_shipping
+//! ```
+
+use haec_energy::units::ByteCount;
+use haec_net::prelude::*;
+
+fn main() {
+    let payload = ByteCount::from_mib(512);
+    let codec = CompressorSpec::lightweight(4.0);
+
+    println!("shipping {payload} of intermediates (lightweight codec, 4x):\n");
+    println!(
+        "  {:<12} {:>14} {:>14} {:>10} {:>10}",
+        "link", "raw", "compressed", "min-time", "min-energy"
+    );
+    for (name, class) in [
+        ("intra-board", LinkClass::IntraBoard),
+        ("optical", LinkClass::Optical),
+        ("10GbE", LinkClass::Ethernet10G),
+        ("wireless", LinkClass::Wireless),
+        ("1GbE", LinkClass::Ethernet1G),
+    ] {
+        let spec = LinkSpec::default_for(class);
+        let t = decide(payload, &codec, &spec, Objective::MinTime);
+        let e = decide(payload, &codec, &spec, Objective::MinEnergy);
+        println!(
+            "  {:<12} {:>10.1} ms {:>10.1} ms {:>10} {:>10}",
+            name,
+            t.raw.time.as_secs_f64() * 1e3,
+            t.compressed.time.as_secs_f64() * 1e3,
+            if t.compress { "compress" } else { "raw" },
+            if e.compress { "compress" } else { "raw" },
+        );
+    }
+    if let Some(bw) = time_crossover_bandwidth(&codec) {
+        println!("\ntime-crossover at ~{:.2} GB/s: slower links compress, faster ship raw.", bw / 1e9);
+    }
+
+    // Topology reconfiguration: enabling the optical express link
+    // changes the optimal decision at runtime (HAEC, §III).
+    let mut topo = Topology::new(2);
+    topo.connect(NodeId(0), NodeId(1), LinkClass::Ethernet1G);
+    let slow = topo.best_spec(NodeId(0), NodeId(1)).expect("link up").clone();
+    let before = decide(payload, &codec, &slow, Objective::MinTime);
+    topo.connect(NodeId(0), NodeId(1), LinkClass::Optical); // bring up express link
+    let fast = topo.best_spec(NodeId(0), NodeId(1)).expect("link up").clone();
+    let after = decide(payload, &codec, &fast, Objective::MinTime);
+    println!(
+        "\nHAEC reconfiguration: over 1GbE the optimizer {}; after enabling the optical link it {}.",
+        if before.compress { "compresses" } else { "ships raw" },
+        if after.compress { "compresses" } else { "ships raw" },
+    );
+    println!(
+        "link idle power rose {:.1} W -> {:.1} W: the express link must earn its keep.",
+        LinkSpec::default_for(LinkClass::Ethernet1G).idle_w,
+        topo.idle_power().watts()
+    );
+}

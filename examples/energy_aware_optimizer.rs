@@ -1,0 +1,68 @@
+//! The Fig. 2 story end to end: candidate plans on the (time, energy)
+//! plane, constrained choice, and the server-level consequence of a
+//! power cap.
+//!
+//! ```text
+//! cargo run --release --example energy_aware_optimizer
+//! ```
+
+use haec_energy::machine::MachineSpec;
+use haec_energy::units::{Joules, Watts};
+use haec_planner::cost::CostModel;
+use haec_planner::optimizer::{choose, pareto_frontier, Goal};
+use haec_sched::governor::GovernorPolicy;
+use haec_sched::server::{run_server_sim, ServerSimConfig};
+use std::time::Duration;
+
+fn main() {
+    // --- plan-level: alternatives for one analytical query -------------
+    let model = CostModel::new(MachineSpec::commodity_2013());
+    let rows = 50_000_000u64;
+    let candidates = vec![
+        ("full scan", model.scan(rows, 8, 0.02)),
+        ("index lookup", model.index_lookup(1_000_000, 8)),
+        ("scan + agg", model.scan(rows, 8, 0.02) + model.aggregate(1_000_000, 64)),
+        ("hash join path", model.hash_join(1_000_000, rows, 2_000_000)),
+    ];
+    let costs: Vec<_> = candidates.iter().map(|(_, c)| *c).collect();
+
+    println!("candidate plans (time / energy):");
+    for (name, c) in &candidates {
+        println!("  {name:16} {c}");
+    }
+    let frontier = pareto_frontier(&costs);
+    println!("\npareto-optimal: {:?}", frontier.iter().map(|&i| candidates[i].0).collect::<Vec<_>>());
+
+    for goal in [
+        Goal::MinTime,
+        Goal::MinEnergy,
+        Goal::MinTimeUnderEnergyBudget(Joules::new(1.0)),
+        Goal::MinEnergyUnderDeadline(Duration::from_millis(50)),
+    ] {
+        match choose(&costs, goal) {
+            Ok(i) => println!("  {goal} -> {}", candidates[i].0),
+            Err(e) => println!("  {goal} -> {e}"),
+        }
+    }
+
+    // --- system-level: the same trade-off as a power cap ----------------
+    println!("\nenergy-cap sweep on the query server (Fig. 2):");
+    println!("  {:>10} {:>12} {:>10} {:>10}", "cap", "throughput", "p95", "J/query");
+    let mut cfg = ServerSimConfig::default_mix();
+    cfg.arrival_rate = 120.0;
+    cfg.mean_work_cycles = 2.0e8;
+    cfg.horizon = Duration::from_secs(30);
+    let peak = cfg.machine.peak_power().watts();
+    for frac in [1.0, 0.6, 0.4, 0.3] {
+        cfg.governor = GovernorPolicy::EnergyCap(Watts::new(peak * frac));
+        let out = run_server_sim(&cfg);
+        println!(
+            "  {:>8.0} W {:>10.1}/s {:>8.1}ms {:>9.2}J",
+            peak * frac,
+            out.throughput,
+            out.response.quantile_duration(0.95).unwrap_or_default().as_secs_f64() * 1e3,
+            out.energy_per_query.joules()
+        );
+    }
+    println!("\ntighter budget -> same work at lower power but longer tails: the paper's Fig. 2.");
+}

@@ -1,0 +1,67 @@
+//! Quickstart: create a table, load it, run energy-metered queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use haecdb::prelude::*;
+
+fn main() -> DbResult<()> {
+    // A database over the default 2013 commodity-server power model.
+    let mut db = Database::new();
+    println!(
+        "machine: {} cores, idle floor {:.0} W, peak {:.0} W",
+        db.machine().cores(),
+        db.machine().idle_floor().watts(),
+        db.machine().peak_power().watts()
+    );
+
+    // Classical, strict-schema table.
+    db.create_table(
+        "orders",
+        &[("id", DataType::Int64), ("region", DataType::Int64), ("amount", DataType::Int64)],
+    )?;
+    for i in 0..200_000i64 {
+        db.insert(
+            "orders",
+            &Record::new().with("id", i).with("region", i % 8).with("amount", (i * 37) % 1000),
+        )?;
+    }
+
+    // A filtered group-by, fully metered.
+    let result = db.execute(
+        &Query::scan("orders")
+            .filter("amount", CmpOp::Ge, 500)
+            .group_by("region")
+            .aggregate(AggKind::Sum, "amount"),
+    )?;
+    println!("\nrevenue >= 500 by region:");
+    for i in 0..result.rows.rows() {
+        let row = result.rows.row(i).expect("in range");
+        println!("  region {} -> {}", row[0], row[1]);
+    }
+    println!(
+        "\nquery cost: modeled {:.3} ms / {:.3} mJ (wall {:.3} ms)",
+        result.modeled_time.as_secs_f64() * 1e3,
+        result.energy.joules() * 1e3,
+        result.wall_time.as_secs_f64() * 1e3
+    );
+
+    // Point queries: create an index and watch the optimizer switch.
+    db.create_index("orders", "id", IndexMaintenance::Eager)?;
+    let point = db.execute(&Query::scan("orders").filter("id", CmpOp::Eq, 4242))?;
+    println!(
+        "\npoint lookup used {:?}, returned {} row(s), {:.1} µJ",
+        point.access_path,
+        point.rows.rows(),
+        point.energy.joules() * 1e6
+    );
+
+    // The database-wide meter accumulates everything, RAPL-style.
+    let meter = db.meter();
+    println!("\ncumulative energy by domain:");
+    for domain in haec_energy::meter::Domain::ALL {
+        println!("  {:8} {:>12.6} J (RAPL reg: {:#x})", domain.to_string(), meter.total(domain).joules(), meter.rapl_read(domain));
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Reproduction suite umbrella: re-exports every crate of the `haecdb`
+//! workspace so integration tests and examples have one import root.
+//!
+//! See `README.md` for the project overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use haec_columnar as columnar;
+pub use haec_energy as energy;
+pub use haec_exec as exec;
+pub use haec_net as net;
+pub use haec_planner as planner;
+pub use haec_sched as sched;
+pub use haec_sim as sim;
+pub use haec_storage as storage;
+pub use haec_txn as txn;
+pub use haecdb as db;
