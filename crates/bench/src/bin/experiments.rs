@@ -21,7 +21,7 @@ fn main() {
         std::process::exit(2);
     }
     println!("haecdb experiment harness — reproduction of Lehner, DATE 2013");
-    println!("(energy figures come from the calibrated analytical model; see DESIGN.md)");
+    println!("(energy figures come from the calibrated analytical model; see crates/energy)");
     println!();
     for (id, runner) in selected {
         let (report, took) = time_it(runner);

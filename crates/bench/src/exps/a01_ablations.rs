@@ -1,4 +1,4 @@
-//! A1 — ablations of the design choices DESIGN.md calls out: morsel
+//! A1 — ablations of the design choices this reproduction calls out: morsel
 //! size, adaptive-select batch size, and checkpoint granularity.
 
 use crate::report::{fmt_dur, time_it, Report};

@@ -1,5 +1,5 @@
-//! The experiment registry: one module per table/figure of
-//! EXPERIMENTS.md.
+//! The experiment registry: one module per table/figure of the
+//! reproduction; the `experiments` binary prints every report.
 
 pub mod a01_ablations;
 pub mod e01_scan_vs_index;
@@ -21,10 +21,13 @@ pub mod e16_compression;
 
 use crate::report::Report;
 
+/// An experiment entry point.
+pub type Runner = fn() -> Report;
+
 /// All experiments as `(id, runner)` pairs, in order.
-pub fn all() -> Vec<(&'static str, fn() -> Report)> {
+pub fn all() -> Vec<(&'static str, Runner)> {
     vec![
-        ("e01", e01_scan_vs_index::run as fn() -> Report),
+        ("e01", e01_scan_vs_index::run as Runner),
         ("e02", e02_energy_constraint::run),
         ("e03", e03_ship_compression::run),
         ("e04", e04_sync_scaling::run),

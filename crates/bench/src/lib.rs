@@ -4,7 +4,7 @@
 //! "Energy-Efficient In-Memory Database Computing" (DATE 2013)*.
 //!
 //! The paper has no measured tables (it is an invited vision paper);
-//! DESIGN.md defines experiments E1–E16 that quantify each of its
+//! the [`exps`] module defines experiments E1–E16 that quantify its
 //! figures and falsifiable claims. Each experiment lives in [`exps`] and
 //! produces a [`report::Report`]; the `experiments` binary prints them:
 //!

@@ -1,5 +1,5 @@
 //! Plain-text experiment reports: aligned tables with a title and notes,
-//! printed by the `experiments` binary and archived in EXPERIMENTS.md.
+//! printed by the `experiments` binary (see `cargo run -p haec-bench --bin experiments`).
 
 use std::fmt;
 use std::time::{Duration, Instant};

@@ -376,7 +376,7 @@ mod tests {
         // below the row count and within an order of magnitude of 100.
         let v: Vec<i64> = (0..100_000).map(|i| i % 100).collect();
         let d = estimate_distinct_ints(&v);
-        assert!(d >= 50 && d <= 10_000, "estimate {d}");
+        assert!((50..=10_000).contains(&d), "estimate {d}");
     }
 
     #[test]

@@ -33,19 +33,6 @@ impl DictColumn {
         DictColumn::default()
     }
 
-    /// Creates a column from an iterator of strings.
-    pub fn from_iter<I, S>(values: I) -> Self
-    where
-        I: IntoIterator<Item = S>,
-        S: AsRef<str>,
-    {
-        let mut c = DictColumn::new();
-        for v in values {
-            c.push(v.as_ref());
-        }
-        c
-    }
-
     /// Appends a value, interning it if unseen. Returns its code.
     pub fn push(&mut self, value: &str) -> u32 {
         let code = self.intern(value);
@@ -120,7 +107,11 @@ impl fmt::Debug for DictColumn {
 
 impl<S: AsRef<str>> FromIterator<S> for DictColumn {
     fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
-        DictColumn::from_iter(iter)
+        let mut c = DictColumn::new();
+        for v in iter {
+            c.push(v.as_ref());
+        }
+        c
     }
 }
 

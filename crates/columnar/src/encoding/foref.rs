@@ -111,7 +111,7 @@ impl ForInts {
                 word_idx += 1;
             }
         }
-        if n % 64 != 0 {
+        if !n.is_multiple_of(64) {
             out.set_word(word_idx, word);
         }
     }

@@ -73,7 +73,7 @@ impl RleInts {
     pub fn decode(&self) -> Vec<i64> {
         let mut out = Vec::with_capacity(self.len);
         for r in &self.runs {
-            out.extend(std::iter::repeat(r.value).take(r.len));
+            out.extend(std::iter::repeat_n(r.value, r.len));
         }
         out
     }

@@ -12,7 +12,7 @@ fn int_data() -> impl Strategy<Value = Vec<i64>> {
         proptest::collection::vec(-100i64..100, 0..300),
         // run-heavy
         proptest::collection::vec((0i64..5, 1usize..20), 0..40).prop_map(|runs| {
-            runs.into_iter().flat_map(|(v, n)| std::iter::repeat(v).take(n)).collect()
+            runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v, n)).collect()
         }),
         // monotone
         proptest::collection::vec(0i64..1000, 0..300).prop_map(|mut v| {

@@ -165,12 +165,12 @@ impl TableSchema {
                     out.push(Value::Null);
                 }
                 Some(v) => {
-                    let ok = match (dtype, v) {
-                        (DataType::Int64, Value::Int(_)) => true,
-                        (DataType::Float64, Value::Float(_) | Value::Int(_)) => true,
-                        (DataType::Str, Value::Str(_)) => true,
-                        _ => false,
-                    };
+                    let ok = matches!(
+                        (dtype, v),
+                        (DataType::Int64, Value::Int(_))
+                            | (DataType::Float64, Value::Float(_) | Value::Int(_))
+                            | (DataType::Str, Value::Str(_))
+                    );
                     if !ok {
                         return Err(DbError::TypeMismatch { column: name.clone(), expected: *dtype });
                     }

@@ -337,7 +337,7 @@ pub fn parallel_group_sum(
 }
 
 /// First-order analytic speedup model for thread counts beyond the
-/// physical cores of the reproduction machine (documented in DESIGN.md;
+/// physical cores of the reproduction machine (documented in the exps module docs;
 /// used by experiment E4's extrapolated columns).
 ///
 /// The model is Amdahl with a strategy-specific contention term that

@@ -104,7 +104,7 @@ where
         handles.into_iter().map(|h| h.join().expect("morsel worker panicked")).collect()
     })
     .expect("scope failed");
-    results.into_iter().fold(zero, |a, b| merge(a, b))
+    results.into_iter().fold(zero, merge)
 }
 
 #[cfg(test)]

@@ -208,7 +208,7 @@ pub fn plan_greedy(g: &JoinGraph) -> PlanSummary {
                 }
                 let cb = comps[b].as_ref().expect("edge to dead component");
                 let merged = ca.card * cb.card * sel;
-                if bests.map_or(true, |(c, _, _)| merged < c) {
+                if bests.is_none_or(|(c, _, _)| merged < c) {
                     bests = Some((merged, a, b));
                 }
             }

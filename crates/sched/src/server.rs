@@ -113,7 +113,7 @@ pub fn run_server_sim(cfg: &ServerSimConfig) -> ServerSimResult {
     let mut t = SimTime::ZERO;
     loop {
         let gap = Duration::from_secs_f64(rng.exponential(1.0 / cfg.arrival_rate));
-        t = t + gap;
+        t += gap;
         if t > horizon {
             break;
         }

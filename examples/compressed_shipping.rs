@@ -44,10 +44,10 @@ fn main() {
     // changes the optimal decision at runtime (HAEC, §III).
     let mut topo = Topology::new(2);
     topo.connect(NodeId(0), NodeId(1), LinkClass::Ethernet1G);
-    let slow = topo.best_spec(NodeId(0), NodeId(1)).expect("link up").clone();
+    let slow = *topo.best_spec(NodeId(0), NodeId(1)).expect("link up");
     let before = decide(payload, &codec, &slow, Objective::MinTime);
     topo.connect(NodeId(0), NodeId(1), LinkClass::Optical); // bring up express link
-    let fast = topo.best_spec(NodeId(0), NodeId(1)).expect("link up").clone();
+    let fast = *topo.best_spec(NodeId(0), NodeId(1)).expect("link up");
     let after = decide(payload, &codec, &fast, Objective::MinTime);
     println!(
         "\nHAEC reconfiguration: over 1GbE the optimizer {}; after enabling the optical link it {}.",

@@ -1,0 +1,195 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements enough of the criterion API for the workspace's
+//! `benches/kernels.rs`: [`criterion_group!`] / [`criterion_main!`],
+//! benchmark groups with throughput annotations, and a timing loop that
+//! prints mean wall-clock per iteration (no statistics, plots or
+//! baselines). Runs are short by design so `cargo bench` stays usable
+//! in CI.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.measurement_time;
+        run_one(name, None, budget, f);
+    }
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (rows, tuples) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used in the report.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; this shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) {
+        self.criterion.measurement_time = d;
+    }
+
+    /// Benchmarks `f`, passing it `input` each iteration.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let budget = self.criterion.measurement_time;
+        run_one(&label, self.throughput, budget, |b| f(b, input));
+    }
+
+    /// Benchmarks a zero-input closure.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let budget = self.criterion.measurement_time;
+        run_one(&label, self.throughput, budget, f);
+    }
+
+    /// Ends the group (separator line only in this shim).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive so the optimizer
+    /// cannot delete the measured work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(label: &str, throughput: Option<Throughput>, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the iteration count until one batch is long enough
+    // to time reliably, then spend the measurement budget.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break b.elapsed / iters.max(1) as u32;
+        }
+        iters *= 4;
+    };
+    let target = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut b = Bencher { iters: target, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(" ({:.1} Melem/s)", n as f64 / mean / 1e6),
+        Some(Throughput::Bytes(n)) => format!(" ({:.1} MiB/s)", n as f64 / mean / (1 << 20) as f64),
+        None => String::new(),
+    };
+    println!("  {label}: {:.3} us/iter{rate}", mean * 1e6);
+}
+
+/// Declares a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::from_parameter("sum"), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("free", |b| b.iter(|| 2 + 2));
+    }
+}

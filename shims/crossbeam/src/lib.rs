@@ -1,0 +1,64 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` in terms of `std::thread::scope`
+//! (available since Rust 1.63). The closure passed to [`Scope::spawn`]
+//! receives a placeholder `()` argument where crossbeam passes a nested
+//! `&Scope` — every caller in this workspace ignores it (`|_| ...`).
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the
+    /// payload of its panic.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to the enclosing [`scope`] call. The
+    /// closure's ignored argument stands in for crossbeam's `&Scope`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(())) }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing-from-the-stack threads can
+/// be spawned; all spawned threads are joined before this returns.
+///
+/// Always returns `Ok` — with `std::thread::scope`, a panic in an
+/// unjoined child propagates to the caller instead of surfacing here.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = vec![1u64, 2, 3, 4];
+        let data = &data;
+        let total: u64 = super::scope(|scope| {
+            let handles: Vec<_> =
+                (0..2).map(|i| scope.spawn(move |_| data[i * 2] + data[i * 2 + 1])).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,68 @@
+//! Smoke coverage for `examples/`: exercises the `quickstart.rs` code
+//! path in-process with assertions, so the documented entry point can't
+//! rot. CI additionally builds every example (`cargo build --examples`)
+//! and runs each binary.
+
+use haecdb::prelude::*;
+
+#[test]
+fn quickstart_code_path_works() {
+    let mut db = Database::new();
+    assert!(db.machine().cores() >= 1);
+    assert!(db.machine().idle_floor().watts() > 0.0);
+
+    db.create_table(
+        "orders",
+        &[("id", DataType::Int64), ("region", DataType::Int64), ("amount", DataType::Int64)],
+    )
+    .unwrap();
+    let rows = 20_000i64;
+    for i in 0..rows {
+        db.insert(
+            "orders",
+            &Record::new().with("id", i).with("region", i % 8).with("amount", (i * 37) % 1000),
+        )
+        .unwrap();
+    }
+
+    // Filtered group-by, checked against a plain-Rust reference.
+    let result = db
+        .execute(
+            &Query::scan("orders")
+                .filter("amount", CmpOp::Ge, 500)
+                .group_by("region")
+                .aggregate(AggKind::Sum, "amount"),
+        )
+        .unwrap();
+    let mut expected = std::collections::BTreeMap::new();
+    for i in 0..rows {
+        let amount = (i * 37) % 1000;
+        if amount >= 500 {
+            *expected.entry(i % 8).or_insert(0i64) += amount;
+        }
+    }
+    assert_eq!(result.rows.rows(), expected.len());
+    for i in 0..result.rows.rows() {
+        let row = result.rows.row(i).unwrap();
+        let region = row[0].as_int().unwrap();
+        let sum = row[1].as_float().unwrap();
+        assert_eq!(expected.get(&region).copied(), Some(sum as i64), "region {region}");
+    }
+    assert!(result.energy.joules() > 0.0, "queries must be metered");
+    assert!(result.modeled_time > std::time::Duration::ZERO);
+
+    // Point lookup switches to the index once one exists.
+    db.create_index("orders", "id", IndexMaintenance::Eager).unwrap();
+    let point = db.execute(&Query::scan("orders").filter("id", CmpOp::Eq, 4242)).unwrap();
+    assert_eq!(point.rows.rows(), 1);
+    assert_eq!(point.rows.row(0).unwrap()[0].as_int().unwrap(), 4242);
+
+    // The database-wide meter accumulated everything, package = sum of
+    // leaf domains.
+    let meter = db.meter();
+    let pkg = meter.total(haec_energy::meter::Domain::Package).joules();
+    assert!(pkg > 0.0);
+    for domain in haec_energy::meter::Domain::ALL {
+        assert!(meter.total(domain).joules() >= 0.0, "{domain}");
+    }
+}
