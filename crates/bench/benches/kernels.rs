@@ -84,17 +84,9 @@ fn bench_hash_join(c: &mut Criterion) {
     let mut g = c.benchmark_group("join_hash");
     g.throughput(Throughput::Elements((build.len() + probe.len()) as u64));
     g.sample_size(10);
-    g.bench_function("build_probe", |b| {
-        b.iter(|| HashJoin::build(&build).probe(&probe).len())
-    });
+    g.bench_function("build_probe", |b| b.iter(|| HashJoin::build(&build).probe(&probe).len()));
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_select_kernels,
-    bench_compression,
-    bench_sync_strategies,
-    bench_hash_join
-);
+criterion_group!(benches, bench_select_kernels, bench_compression, bench_sync_strategies, bench_hash_join);
 criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! E1 — "the faster a query is processed, the less energy is consumed;
-//! index lookup instead of table scan" (§IV, ref [12]).
+//! index lookup instead of table scan" (§IV, ref \[12\]).
 
 use crate::report::{fmt_joules, Report};
+use haec_columnar::value::CmpOp;
 use haec_energy::machine::MachineSpec;
 use haec_planner::access::{choose_access, AccessPath};
 use haec_planner::catalog::{ColumnMeta, TableMeta};
 use haec_planner::cost::CostModel;
-use haec_columnar::value::CmpOp;
 
 /// Runs the experiment.
 pub fn run() -> Report {
@@ -23,7 +23,13 @@ pub fn run() -> Report {
         name: "orders".into(),
         rows,
         row_bytes: 8,
-        columns: vec![ColumnMeta { name: "id".into(), ndv: rows, min: 0, max: rows as i64 - 1, indexed: true }],
+        columns: vec![ColumnMeta {
+            name: "id".into(),
+            ndv: rows,
+            min: 0,
+            max: rows as i64 - 1,
+            indexed: true,
+        }],
     };
     let mut crossover: Option<(f64, f64)> = None;
     let mut prev: Option<(f64, AccessPath)> = None;

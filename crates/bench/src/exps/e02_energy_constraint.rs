@@ -56,7 +56,8 @@ pub fn run() -> Report {
     ));
 
     // Governor family comparison at a fixed moderate load.
-    let mut g = Report::new("E2b", "governor comparison (same load)", "race-to-idle vs pace vs ondemand (§IV)");
+    let mut g =
+        Report::new("E2b", "governor comparison (same load)", "race-to-idle vs pace vs ondemand (§IV)");
     let _ = &mut g;
     for gov in [
         GovernorPolicy::RaceToIdle,
@@ -69,14 +70,8 @@ pub fn run() -> Report {
             format!("{gov}"),
             "-".into(),
             format!("{:.1}", out.throughput),
-            format!(
-                "{:.1} ms",
-                out.response.quantile_duration(0.50).unwrap_or_default().as_secs_f64() * 1e3
-            ),
-            format!(
-                "{:.1} ms",
-                out.response.quantile_duration(0.95).unwrap_or_default().as_secs_f64() * 1e3
-            ),
+            format!("{:.1} ms", out.response.quantile_duration(0.50).unwrap_or_default().as_secs_f64() * 1e3),
+            format!("{:.1} ms", out.response.quantile_duration(0.95).unwrap_or_default().as_secs_f64() * 1e3),
             fmt_joules(out.energy_per_query.joules()),
             format!("{:.0} W", out.avg_power.watts()),
         ]);

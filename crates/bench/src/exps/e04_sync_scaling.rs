@@ -1,4 +1,4 @@
-//! E4 — synchronization overhead in parallel aggregation (§III, ref [6]):
+//! E4 — synchronization overhead in parallel aggregation (§III, ref \[6\]):
 //! mutex vs atomic vs optimistic vs partitioned.
 
 use crate::report::{fmt_dur, Report};
@@ -48,10 +48,8 @@ pub fn run() -> Report {
     r.note("with few groups (contended), mutex collapses and partitioned scales near-linearly");
 
     // Retry visibility under maximal contention (optimistic scheme).
-    let hot = parallel_group_sum(&vec![0u32; 500_000], &vec![1i64; 500_000], 1, cores, SyncStrategy::Optimistic);
-    r.note(format!(
-        "optimistic CAS retries on a single hot group with {} threads: {}",
-        cores, hot.retries
-    ));
+    let hot =
+        parallel_group_sum(&vec![0u32; 500_000], &vec![1i64; 500_000], 1, cores, SyncStrategy::Optimistic);
+    r.note(format!("optimistic CAS retries on a single hot group with {} threads: {}", cores, hot.retries));
     r
 }

@@ -1,5 +1,5 @@
 //! E6 — hybrid operators: init/finish on CPU, work() on the
-//! co-processor (§III/§IV.B, refs [9][16]).
+//! co-processor (§III/§IV.B, refs \[9\]\[16\]).
 
 use crate::report::Report;
 use haec_energy::calibrate::KernelCosts;
@@ -30,7 +30,11 @@ pub fn run() -> Report {
             r.row([
                 name.to_string(),
                 format!("{rows:.1e}"),
-                format!("{:.1} ms / {:.1} J", d.cpu_cost.time.as_secs_f64() * 1e3, d.cpu_cost.energy.joules()),
+                format!(
+                    "{:.1} ms / {:.1} J",
+                    d.cpu_cost.time.as_secs_f64() * 1e3,
+                    d.cpu_cost.energy.joules()
+                ),
                 format!("{:.1} ms / {:.1} J", h.time.as_secs_f64() * 1e3, h.energy.joules()),
                 format!("{}", d.placement),
             ]);

@@ -10,7 +10,15 @@ pub fn run() -> Report {
         "join ordering at catalog scale (star queries)",
         "exhaustive optimizers cannot cope with 1000s of tables per query; heuristics must take over (§II)",
     );
-    r.headers(["tables", "DP time", "DP C_out", "greedy time", "greedy C_out", "left-deep time", "left-deep C_out"]);
+    r.headers([
+        "tables",
+        "DP time",
+        "DP C_out",
+        "greedy time",
+        "greedy C_out",
+        "left-deep time",
+        "left-deep C_out",
+    ]);
 
     for n in [4usize, 8, 12] {
         let g = JoinGraph::star(n, 1.0e7, 1_000.0);
@@ -45,6 +53,8 @@ pub fn run() -> Report {
     r.note(format!(
         "DP is hard-capped at {DP_MAX_RELATIONS} relations (2^n state); beyond that only the polynomial planners answer"
     ));
-    r.note("greedy matches DP plan quality on star/chain shapes; left-deep stays ~O(n log n) to 10 000 tables");
+    r.note(
+        "greedy matches DP plan quality on star/chain shapes; left-deep stays ~O(n log n) to 10 000 tables",
+    );
     r
 }

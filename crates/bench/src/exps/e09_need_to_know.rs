@@ -4,7 +4,11 @@
 use crate::report::{fmt_dur, time_it, Report};
 use haecdb::index::{IndexMaintenance, SecondaryIndex};
 
-fn drive(maintenance: IndexMaintenance, updates: u64, reads: u64) -> (u64, std::time::Duration, std::time::Duration) {
+fn drive(
+    maintenance: IndexMaintenance,
+    updates: u64,
+    reads: u64,
+) -> (u64, std::time::Duration, std::time::Duration) {
     let mut idx = SecondaryIndex::new(maintenance);
     let read_every = if reads == 0 { u64::MAX } else { updates / reads.max(1) };
     let mut first_read_latency = std::time::Duration::ZERO;

@@ -1,5 +1,5 @@
 //! E10 — optimistic/multi-version concurrency vs locking for
-//! main-memory workloads (§III, ref [18]).
+//! main-memory workloads (§III, ref \[18\]).
 
 use crate::report::{fmt_rate, Report};
 use haec_sim::rng::SimRng;
@@ -67,11 +67,7 @@ fn drive(scheme: CcScheme, threads: usize, keys: u64, zipf_theta: f64, txns_per_
     }
     let wall = start.elapsed();
     let committed = mgr.committed() - preload_commits;
-    Outcome {
-        committed,
-        aborted: mgr.aborted(),
-        throughput: committed as f64 / wall.as_secs_f64(),
-    }
+    Outcome { committed, aborted: mgr.aborted(), throughput: committed as f64 / wall.as_secs_f64() }
 }
 
 /// Runs the experiment.
@@ -98,7 +94,11 @@ pub fn run() -> Report {
             ]);
         }
     }
-    r.note(format!("{threads} worker threads, {keys} keys, {per_thread} txns/thread, 2 RMW + 2 reads per txn"));
-    r.note("skew raises aborts for every scheme; 2PL also aborts readers (no-wait), SI/OCC readers never block");
+    r.note(format!(
+        "{threads} worker threads, {keys} keys, {per_thread} txns/thread, 2 RMW + 2 reads per txn"
+    ));
+    r.note(
+        "skew raises aborts for every scheme; 2PL also aborts readers (no-wait), SI/OCC readers never block",
+    );
     r
 }

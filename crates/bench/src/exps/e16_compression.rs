@@ -1,5 +1,5 @@
 //! E16 — lightweight compression substrate: ratios, codec throughput,
-//! and scanning without decompression (feeds E3; §IV.B, ref [1]).
+//! and scanning without decompression (feeds E3; §IV.B, ref \[1\]).
 
 use crate::report::{fmt_rate, time_it, Report};
 use haec_columnar::bitmap::Bitmap;

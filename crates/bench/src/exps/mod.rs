@@ -18,6 +18,7 @@ pub mod e13_flexible_schema;
 pub mod e14_robustness;
 pub mod e15_reliability;
 pub mod e16_compression;
+pub mod e17_delta_merge;
 
 use crate::report::Report;
 
@@ -43,6 +44,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e14", e14_robustness::run),
         ("e15", e15_reliability::run),
         ("e16", e16_compression::run),
+        ("e17", e17_delta_merge::run),
         ("a01", a01_ablations::run),
     ]
 }

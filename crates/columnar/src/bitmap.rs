@@ -114,7 +114,12 @@ impl Bitmap {
 
     /// Iterates over the positions of set bits in ascending order.
     pub fn iter_ones(&self) -> IterOnes<'_> {
-        IterOnes { words: &self.words, len: self.len, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        IterOnes {
+            words: &self.words,
+            len: self.len,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// In-place intersection.

@@ -115,9 +115,7 @@ impl Column {
             (Column::Str(d), Value::Null) => {
                 d.push("");
             }
-            (col, v) => {
-                return Err(TypeMismatchError { expected: col.data_type(), found: v.data_type() })
-            }
+            (col, v) => return Err(TypeMismatchError { expected: col.data_type(), found: v.data_type() }),
         }
         Ok(())
     }

@@ -81,6 +81,11 @@ impl DictColumn {
         self.dict.len()
     }
 
+    /// Iterates the distinct interned values in code order.
+    pub fn iter_dict(&self) -> impl Iterator<Item = &str> + '_ {
+        self.dict.iter().map(String::as_str)
+    }
+
     /// The raw code vector (the integer view scans operate on).
     pub fn codes(&self) -> &[u32] {
         &self.codes

@@ -34,10 +34,7 @@ impl BitPacked {
         }
         if width < 64 {
             let limit = 1u64 << width;
-            assert!(
-                values.iter().all(|&v| v < limit),
-                "value does not fit in {width} bits"
-            );
+            assert!(values.iter().all(|&v| v < limit), "value does not fit in {width} bits");
         }
         let total_bits = values.len() * width as usize;
         let mut words = vec![0u64; total_bits.div_ceil(64)];
@@ -118,7 +115,8 @@ mod tests {
     fn round_trip_various_widths() {
         for width in [1u32, 3, 7, 8, 13, 31, 33, 63, 64] {
             let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-            let values: Vec<u64> = (0..200u64).map(|i| (i * 2_654_435_761) % (max.saturating_add(1)).max(1)).collect();
+            let values: Vec<u64> =
+                (0..200u64).map(|i| (i * 2_654_435_761) % (max.saturating_add(1)).max(1)).collect();
             let values: Vec<u64> = values.iter().map(|&v| if width == 64 { v } else { v & max }).collect();
             let p = BitPacked::pack(&values, width);
             assert_eq!(p.unpack(), values, "width {width}");

@@ -91,31 +91,25 @@ impl DeltaInts {
         v
     }
 
-    /// Decodes to a fresh vector (sequential, O(n)).
-    pub fn decode(&self) -> Vec<i64> {
-        let mut out = Vec::with_capacity(self.len);
-        if self.len == 0 {
-            return out;
-        }
-        let mut v = self.checkpoints[0];
-        out.push(v);
-        for i in 0..self.len - 1 {
-            v = v.wrapping_add(unzigzag(self.deltas.get(i)));
-            out.push(v);
-        }
-        out
+    /// Streaming sequential decode: yields each row's value without
+    /// materializing the column. This is the path `EncodedInts::scan`
+    /// uses, so predicate evaluation over delta-encoded data runs in
+    /// O(1) extra space.
+    pub fn iter(&self) -> DeltaIter<'_> {
+        DeltaIter { col: self, next_row: 0, value: self.checkpoints.first().copied().unwrap_or(0) }
     }
 
-    /// Minimum and maximum over all rows (sequential pass).
+    /// Decodes to a fresh vector (sequential, O(n)).
+    pub fn decode(&self) -> Vec<i64> {
+        self.iter().collect()
+    }
+
+    /// Minimum and maximum over all rows (streaming pass).
     pub fn min_max(&self) -> Option<(i64, i64)> {
-        if self.len == 0 {
-            return None;
-        }
-        let mut v = self.checkpoints[0];
-        let mut min = v;
-        let mut max = v;
-        for i in 0..self.len - 1 {
-            v = v.wrapping_add(unzigzag(self.deltas.get(i)));
+        let mut it = self.iter();
+        let first = it.next()?;
+        let (mut min, mut max) = (first, first);
+        for v in it {
             min = min.min(v);
             max = max.max(v);
         }
@@ -128,9 +122,55 @@ impl DeltaInts {
     }
 }
 
+/// Streaming decoder over a [`DeltaInts`] column (see [`DeltaInts::iter`]).
+#[derive(Clone, Debug)]
+pub struct DeltaIter<'a> {
+    col: &'a DeltaInts,
+    next_row: usize,
+    /// The value `next_row` decodes to (running prefix sum).
+    value: i64,
+}
+
+impl Iterator for DeltaIter<'_> {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        if self.next_row >= self.col.len {
+            return None;
+        }
+        let out = self.value;
+        if self.next_row + 1 < self.col.len {
+            self.value = self.value.wrapping_add(unzigzag(self.col.deltas.get(self.next_row)));
+        }
+        self.next_row += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.col.len - self.next_row;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for DeltaIter<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_iter_matches_decode() {
+        for data in [
+            vec![],
+            vec![42],
+            (0..3000).map(|i| i * 7 - 1000).collect::<Vec<i64>>(),
+            vec![i64::MIN, i64::MAX, 0, -1],
+        ] {
+            let e = DeltaInts::encode(&data);
+            assert_eq!(e.iter().collect::<Vec<_>>(), data);
+            assert_eq!(e.iter().len(), data.len());
+        }
+    }
 
     #[test]
     fn zigzag_round_trip() {
@@ -171,7 +211,15 @@ mod tests {
     fn get_uses_checkpoints() {
         let data: Vec<i64> = (0..(CHECKPOINT_EVERY as i64 * 3 + 7)).map(|i| i * 3).collect();
         let e = DeltaInts::encode(&data);
-        for &i in &[0usize, 1, CHECKPOINT_EVERY - 1, CHECKPOINT_EVERY, CHECKPOINT_EVERY + 1, 2 * CHECKPOINT_EVERY + 500, data.len() - 1] {
+        for &i in &[
+            0usize,
+            1,
+            CHECKPOINT_EVERY - 1,
+            CHECKPOINT_EVERY,
+            CHECKPOINT_EVERY + 1,
+            2 * CHECKPOINT_EVERY + 500,
+            data.len() - 1,
+        ] {
             assert_eq!(e.get(i), data[i], "row {i}");
         }
     }

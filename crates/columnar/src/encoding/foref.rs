@@ -83,8 +83,7 @@ impl ForInts {
         let max_offset = if self.width() == 64 { u64::MAX } else { (1u64 << self.width()) - 1 };
         // Translate literal into the offset domain, saturating.
         let lit_off = literal.wrapping_sub(self.reference);
-        let below = literal < self.reference
-            || (literal as i128 - self.reference as i128) < 0;
+        let below = literal < self.reference || (literal as i128 - self.reference as i128) < 0;
         let above = (literal as i128 - self.reference as i128) > max_offset as i128;
 
         // Short circuits: literal outside the frame.

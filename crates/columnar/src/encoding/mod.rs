@@ -176,12 +176,22 @@ impl EncodedInts {
             EncodedInts::Rle(e) => e.scan(op, literal, out),
             EncodedInts::For(e) => e.scan(op, literal, out),
             EncodedInts::Delta(e) => {
-                // Streaming decode; no intermediate Vec.
-                let data = e.decode();
-                for (i, &x) in data.iter().enumerate() {
-                    if op.eval(x, literal) {
-                        out.set(i, true);
+                // Streaming decode (DeltaIter): 64-row match words are
+                // built on the fly, no intermediate Vec.
+                let mut word = 0u64;
+                let mut word_idx = 0;
+                let mut i = 0usize;
+                for x in e.iter() {
+                    word |= (op.eval(x, literal) as u64) << (i % 64);
+                    if i % 64 == 63 {
+                        out.set_word(word_idx, word);
+                        word = 0;
+                        word_idx += 1;
                     }
+                    i += 1;
+                }
+                if !i.is_multiple_of(64) {
+                    out.set_word(word_idx, word);
                 }
             }
         }
@@ -204,11 +214,7 @@ impl EncodedInts {
     /// Compression statistics relative to plain encoding.
     pub fn stats(&self) -> CompressionStats {
         let raw = self.len() * 8;
-        CompressionStats {
-            scheme: self.scheme(),
-            raw_bytes: raw,
-            encoded_bytes: self.size_bytes(),
-        }
+        CompressionStats { scheme: self.scheme(), raw_bytes: raw, encoded_bytes: self.size_bytes() }
     }
 }
 
@@ -240,7 +246,14 @@ impl CompressionStats {
 
 impl fmt::Display for CompressionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} -> {} bytes ({:.2}x)", self.scheme, self.raw_bytes, self.encoded_bytes, self.ratio())
+        write!(
+            f,
+            "{}: {} -> {} bytes ({:.2}x)",
+            self.scheme,
+            self.raw_bytes,
+            self.encoded_bytes,
+            self.ratio()
+        )
     }
 }
 
@@ -309,7 +322,8 @@ mod tests {
             }
             let lit = data[data.len() / 2];
             for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
-                let reference = Bitmap::from_bools(&data.iter().map(|&v| op.eval(v, lit)).collect::<Vec<_>>());
+                let reference =
+                    Bitmap::from_bools(&data.iter().map(|&v| op.eval(v, lit)).collect::<Vec<_>>());
                 for scheme in Scheme::ALL {
                     let e = EncodedInts::encode(&data, scheme);
                     let mut got = Bitmap::zeros(data.len());

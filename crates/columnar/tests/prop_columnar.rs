@@ -11,9 +11,8 @@ fn int_data() -> impl Strategy<Value = Vec<i64>> {
         proptest::collection::vec(any::<i64>(), 0..300),
         proptest::collection::vec(-100i64..100, 0..300),
         // run-heavy
-        proptest::collection::vec((0i64..5, 1usize..20), 0..40).prop_map(|runs| {
-            runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v, n)).collect()
-        }),
+        proptest::collection::vec((0i64..5, 1usize..20), 0..40)
+            .prop_map(|runs| { runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v, n)).collect() }),
         // monotone
         proptest::collection::vec(0i64..1000, 0..300).prop_map(|mut v| {
             let mut acc = 0i64;
@@ -46,16 +45,18 @@ proptest! {
     }
 
     #[test]
-    fn encoded_scan_matches_reference(data in int_data(), lit in -150i64..150, op_idx in 0usize..6) {
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
-        let op = ops[op_idx];
-        let reference: Vec<bool> = data.iter().map(|&v| op.eval(v, lit)).collect();
-        let want = Bitmap::from_bools(&reference);
-        for scheme in Scheme::ALL {
-            let e = EncodedInts::encode(&data, scheme);
-            let mut got = Bitmap::zeros(data.len());
-            e.scan(op, lit, &mut got);
-            prop_assert_eq!(&got, &want, "{} {} {}", scheme, op, lit);
+    fn encoded_scan_matches_reference(data in int_data(), lit in -150i64..150) {
+        // Full parity matrix: every scheme × every operator on the same
+        // input must agree with the row-at-a-time reference.
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let reference: Vec<bool> = data.iter().map(|&v| op.eval(v, lit)).collect();
+            let want = Bitmap::from_bools(&reference);
+            for scheme in Scheme::ALL {
+                let e = EncodedInts::encode(&data, scheme);
+                let mut got = Bitmap::zeros(data.len());
+                e.scan(op, lit, &mut got);
+                prop_assert_eq!(&got, &want, "{} {} {}", scheme, op, lit);
+            }
         }
     }
 

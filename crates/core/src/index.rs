@@ -62,12 +62,7 @@ pub struct SecondaryIndex {
 impl SecondaryIndex {
     /// Creates an empty index under the given discipline.
     pub fn new(maintenance: IndexMaintenance) -> Self {
-        SecondaryIndex {
-            maintenance,
-            map: HashMap::new(),
-            backlog: Vec::new(),
-            stats: IndexStats::default(),
-        }
+        SecondaryIndex { maintenance, map: HashMap::new(), backlog: Vec::new(), stats: IndexStats::default() }
     }
 
     /// The maintenance discipline.

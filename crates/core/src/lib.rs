@@ -23,9 +23,10 @@
 //! | discrete-event simulation core | `haec-sim` |
 //!
 //! This crate adds what only the integrated system can provide: the
-//! [`db::Database`] facade with flexible-schema tables ([`schema`],
-//! [`table`]), Need-to-Know indexes ([`index`]), the energy-metered
-//! query path ([`db`]), and failure-compensating execution ([`robust`]).
+//! [`db::Database`] facade with flexible-schema, segmented main/delta
+//! tables ([`schema`], [`table`], [`segment`]), Need-to-Know indexes
+//! ([`index`]), the energy-metered scan-on-compressed query path
+//! ([`db`]), and failure-compensating execution ([`robust`]).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub mod error;
 pub mod index;
 pub mod robust;
 pub mod schema;
+pub mod segment;
 pub mod table;
 
 /// Convenient glob-import of the crate's main types (plus the commonly
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
     pub use crate::robust::{run_with_failures, RestartPolicy, RobustReport};
     pub use crate::schema::{Record, SchemaMode, TableSchema};
+    pub use crate::segment::{MergeStats, Segment, SEGMENT_ROWS};
     pub use crate::table::Table;
     pub use haec_columnar::value::{CmpOp, DataType, Value};
     pub use haec_exec::agg::AggKind;

@@ -78,10 +78,7 @@ pub fn run_with_failures(
     policy: RestartPolicy,
     seed: u64,
 ) -> RobustReport {
-    assert!(
-        (0.0..1.0).contains(&unit_failure_prob),
-        "failure probability must be in [0,1)"
-    );
+    assert!((0.0..1.0).contains(&unit_failure_prob), "failure probability must be in [0,1)");
     let mut rng = SimRng::seed(seed);
     let mut report = RobustReport::default();
     let mut stage = 0usize;
@@ -172,10 +169,7 @@ mod tests {
             full_waste += full.wasted_units();
             ckpt_waste += ckpt.wasted_units();
         }
-        assert!(
-            ckpt_waste < full_waste,
-            "checkpoint {ckpt_waste} vs full {full_waste}"
-        );
+        assert!(ckpt_waste < full_waste, "checkpoint {ckpt_waste} vs full {full_waste}");
     }
 
     #[test]

@@ -1,32 +1,106 @@
-//! In-memory tables: columnar storage behind a schema.
+//! In-memory tables: segmented main/delta columnar storage behind a
+//! schema.
+//!
+//! A [`Table`] is the paper's two-store design: an immutable, compressed
+//! **main** (a vector of [`Segment`]s, each ≤ [`SEGMENT_ROWS`] rows,
+//! int columns as [`haec_columnar::encoding::EncodedInts`], strings as
+//! dictionary codes, per-column zone maps) plus a flat, append-only
+//! **delta** tail that absorbs inserts at `Vec::push` speed. An explicit
+//! [`Table::merge`] compacts the delta into new main segments and
+//! reports the work done as [`MergeStats`] so the caller can charge it
+//! to the energy meter; the `Database` layer triggers it automatically
+//! once the delta exceeds [`Table::merge_threshold`].
+//!
+//! Row identity is stable: global row ids are insertion order, segments
+//! cover `[0, main_rows)` in merge order and the delta covers
+//! `[main_rows, rows)` — so secondary indexes survive merges untouched.
 
 use crate::error::{DbError, DbResult};
 use crate::schema::{Record, SchemaMode, TableSchema};
+use crate::segment::{MergeStats, SegColumn, Segment, SEGMENT_ROWS};
 use haec_columnar::chunk::Chunk;
 use haec_columnar::column::Column;
+use haec_columnar::dict::DictColumn;
 use haec_columnar::value::{DataType, Value};
+use haec_planner::access::ZoneMapMeta;
 
-/// A named table: schema + dense columns + validity tracking.
+/// Where a global row id physically lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowLoc {
+    /// In main segment `seg` at local offset `local`.
+    Main {
+        /// Segment index.
+        seg: usize,
+        /// Row offset within the segment.
+        local: usize,
+    },
+    /// In the delta tail at offset `local`.
+    Delta {
+        /// Row offset within the delta.
+        local: usize,
+    },
+}
+
+/// One store's share of an ascending position list (see
+/// `Table::for_each_store`); `hits: None` = every row of the store.
+enum StoreHits<'p> {
+    /// Positions landing in main segment `seg` (first global row `base`).
+    Main {
+        /// Segment index.
+        seg: usize,
+        /// First global row id of the segment.
+        base: usize,
+        /// The positions (global row ids), or `None` for all rows.
+        hits: Option<&'p [u32]>,
+    },
+    /// Positions landing in the delta tail.
+    Delta {
+        /// The positions (global row ids), or `None` for all rows.
+        hits: Option<&'p [u32]>,
+    },
+}
+
+/// A named table: compressed main segments + flat delta + validity
+/// tracking.
 #[derive(Clone, Debug)]
 pub struct Table {
     name: String,
     schema: TableSchema,
-    columns: Vec<Column>,
-    /// Per-column validity (false = null sentinel at that row).
-    validity: Vec<Vec<bool>>,
+    /// Immutable compressed segments, oldest first.
+    main: Vec<Segment>,
+    /// `bases[i]` = first global row id of `main[i]`.
+    bases: Vec<usize>,
+    main_rows: usize,
+    /// Flat write-optimized tail (one dense column per schema column).
+    delta: Vec<Column>,
+    /// Per-column validity of the delta (false = null sentinel).
+    delta_validity: Vec<Vec<bool>>,
+    /// Table-global string dictionaries (`Some` for Str columns); the
+    /// codes stored in main segments resolve through these.
+    dicts: Vec<Option<DictColumn>>,
+    /// Delta row count that triggers an automatic merge (at the
+    /// `Database` layer, so the work is metered).
+    merge_threshold: usize,
     rows: usize,
 }
 
 impl Table {
     /// Creates a table with the given schema.
     pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
-        let columns = schema.columns().iter().map(|(_, t)| Column::new(*t)).collect();
+        let delta: Vec<Column> = schema.columns().iter().map(|(_, t)| Column::new(*t)).collect();
+        let dicts =
+            schema.columns().iter().map(|(_, t)| (*t == DataType::Str).then(DictColumn::new)).collect();
         let width = schema.width();
         Table {
             name: name.into(),
             schema,
-            columns,
-            validity: vec![Vec::new(); width],
+            main: Vec::new(),
+            bases: Vec::new(),
+            main_rows: 0,
+            delta,
+            delta_validity: vec![Vec::new(); width],
+            dicts,
+            merge_threshold: SEGMENT_ROWS,
             rows: 0,
         }
     }
@@ -41,7 +115,7 @@ impl Table {
         &self.schema
     }
 
-    /// Number of rows.
+    /// Number of rows (main + delta).
     pub fn rows(&self) -> usize {
         self.rows
     }
@@ -51,84 +125,512 @@ impl Table {
         self.rows == 0
     }
 
-    /// Appends one record, evolving a flexible schema as needed.
+    /// Rows in the compressed main store.
+    pub fn main_rows(&self) -> usize {
+        self.main_rows
+    }
+
+    /// Rows in the flat delta tail.
+    pub fn delta_rows(&self) -> usize {
+        self.rows - self.main_rows
+    }
+
+    /// The immutable main segments, oldest first.
+    pub fn segments(&self) -> &[Segment] {
+        &self.main
+    }
+
+    /// First global row id of segment `i`.
+    pub fn segment_base(&self, i: usize) -> usize {
+        self.bases[i]
+    }
+
+    /// Delta size (rows) above which the `Database` merges automatically.
+    pub fn merge_threshold(&self) -> usize {
+        self.merge_threshold
+    }
+
+    /// Sets the auto-merge threshold (use `usize::MAX` to disable).
+    pub fn set_merge_threshold(&mut self, rows: usize) {
+        self.merge_threshold = rows.max(1);
+    }
+
+    /// Returns `true` once the delta has outgrown the merge threshold.
+    pub fn needs_merge(&self) -> bool {
+        self.delta_rows() >= self.merge_threshold
+    }
+
+    /// The table-global dictionary of string column `idx` (`None` for
+    /// non-string columns).
+    pub fn global_dict(&self, idx: usize) -> Option<&DictColumn> {
+        self.dicts.get(idx).and_then(Option::as_ref)
+    }
+
+    /// The delta tail of column `idx` (dense, uncompressed).
+    pub fn delta_column(&self, idx: usize) -> Option<&Column> {
+        self.delta.get(idx)
+    }
+
+    /// Appends one record to the delta, evolving a flexible schema as
+    /// needed.
+    ///
+    /// Inserts never touch the main store; call [`Table::merge`] (or let
+    /// the `Database` auto-merge) to compact the delta.
     ///
     /// # Errors
     ///
     /// Propagates schema violations and type mismatches.
     pub fn insert(&mut self, record: &Record) -> DbResult<()> {
         let values = self.schema.admit(record)?;
-        // Schema may have grown: materialize new columns backfilled with
-        // sentinel nulls.
-        while self.columns.len() < self.schema.width() {
-            let (_, dtype) = &self.schema.columns()[self.columns.len()];
+        // Schema may have grown: materialize new delta columns backfilled
+        // with sentinel nulls (main segments that predate a column report
+        // their rows as null implicitly).
+        let delta_rows = self.delta_rows();
+        while self.delta.len() < self.schema.width() {
+            let (_, dtype) = &self.schema.columns()[self.delta.len()];
             let mut col = Column::new(*dtype);
-            for _ in 0..self.rows {
+            for _ in 0..delta_rows {
                 col.push(Value::Null).expect("null is universal");
             }
-            self.columns.push(col);
-            self.validity.push(vec![false; self.rows]);
+            self.delta.push(col);
+            self.delta_validity.push(vec![false; delta_rows]);
+            self.dicts.push((*dtype == DataType::Str).then(DictColumn::new));
         }
-        for ((col, valid), value) in self.columns.iter_mut().zip(&mut self.validity).zip(values) {
+        for ((col, valid), value) in self.delta.iter_mut().zip(&mut self.delta_validity).zip(values) {
             valid.push(!value.is_null());
-            col.push(value).map_err(|e| DbError::TypeMismatch {
-                column: String::new(),
-                expected: e.expected,
-            })?;
+            col.push(value)
+                .map_err(|e| DbError::TypeMismatch { column: String::new(), expected: e.expected })?;
         }
         self.rows += 1;
         Ok(())
     }
 
-    /// Borrowed view of one column by name.
-    pub fn column(&self, name: &str) -> Option<&Column> {
-        self.schema.position(name).map(|i| &self.columns[i])
+    /// Compacts the entire delta into new immutable main segments of at
+    /// most [`SEGMENT_ROWS`] rows each, re-encoding every column with
+    /// [`haec_columnar::encoding::EncodedInts::auto`] and remapping
+    /// strings into the table-global dictionaries.
+    ///
+    /// Returns [`MergeStats`] describing the re-encoding work so the
+    /// caller can charge its CPU/DRAM cost; merging an empty delta is a
+    /// free no-op.
+    pub fn merge(&mut self) -> MergeStats {
+        let n = self.delta_rows();
+        if n == 0 {
+            return MergeStats::default();
+        }
+        let mut stats = MergeStats { rows_merged: n, ..MergeStats::default() };
+        // Local→global dictionary remaps, once per merge (every segment
+        // of this merge shares the same delta-local dictionaries).
+        let remaps: Vec<Option<Vec<i64>>> = self
+            .delta
+            .iter()
+            .zip(&mut self.dicts)
+            .map(|(col, dict)| match (col.as_str(), dict.as_mut()) {
+                (Some(local), Some(global)) => Some(crate::segment::build_remap(local, global)),
+                _ => None,
+            })
+            .collect();
+        let mut start = 0;
+        while start < n {
+            let end = (start + SEGMENT_ROWS).min(n);
+            let seg = Segment::build(&self.delta, &self.delta_validity, start, end, &remaps);
+            stats.raw_bytes += seg.raw_bytes();
+            stats.encoded_bytes += seg.encoded_bytes();
+            stats.segments_created += 1;
+            self.bases.push(self.main_rows);
+            self.main_rows += seg.rows();
+            self.main.push(seg);
+            start = end;
+        }
+        self.delta = self.schema.columns().iter().map(|(_, t)| Column::new(*t)).collect();
+        self.delta_validity = vec![Vec::new(); self.schema.width()];
+        stats
     }
 
-    /// The validity vector of one column.
-    pub fn validity(&self, name: &str) -> Option<&[bool]> {
-        self.schema.position(name).map(|i| self.validity[i].as_slice())
+    /// Resolves a global row id to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    pub fn locate(&self, row: usize) -> RowLoc {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        if row >= self.main_rows {
+            return RowLoc::Delta { local: row - self.main_rows };
+        }
+        let seg = self.bases.partition_point(|&b| b <= row) - 1;
+        RowLoc::Main { seg, local: row - self.bases[seg] }
+    }
+
+    /// The integer value of column `idx` at global row `row` (sentinel 0
+    /// for rows in segments that predate the column).
+    ///
+    /// Returns `None` if the column is not an integer column.
+    pub fn get_int(&self, idx: usize, row: usize) -> Option<i64> {
+        match self.locate(row) {
+            RowLoc::Delta { local } => self.delta.get(idx)?.as_int64().map(|v| v[local]),
+            RowLoc::Main { seg, local } => {
+                if *self.schema.columns().get(idx).map(|(_, t)| t)? != DataType::Int64 {
+                    return None;
+                }
+                match self.main[seg].column(idx) {
+                    Some(SegColumn::Int { data, .. }) => Some(data.get(local)),
+                    None => Some(0), // segment predates the column: sentinel
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Returns whether the string value of column `idx` at global row
+    /// `row` equals `value` (`None` if not a string column).
+    pub fn str_eq(&self, idx: usize, row: usize, value: &str) -> Option<bool> {
+        match self.locate(row) {
+            RowLoc::Delta { local } => {
+                let d = self.delta.get(idx)?.as_str()?;
+                Some(d.get(local) == Some(value))
+            }
+            RowLoc::Main { seg, local } => {
+                let global = self.global_dict(idx)?;
+                match self.main[seg].column(idx) {
+                    Some(SegColumn::Str { codes, .. }) => {
+                        Some(global.decode(codes.get(local) as u32) == Some(value))
+                    }
+                    None => Some(value.is_empty()), // sentinel ""
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Gathers the integer values of column `name` at `positions`
+    /// (ascending global row ids), or the full column when `positions`
+    /// is `None`. Segments with many hits are decoded once; sparse hits
+    /// use compressed random access.
+    pub fn gather_ints(&self, name: &str, positions: Option<&[u32]>) -> Option<Vec<i64>> {
+        let idx = self.schema.position(name)?;
+        if self.schema.columns()[idx].1 != DataType::Int64 {
+            return None;
+        }
+        let delta = self.delta[idx].as_int64()?;
+        let Some(pos) = positions else {
+            let mut out = Vec::with_capacity(self.rows);
+            for seg in &self.main {
+                match seg.column(idx) {
+                    Some(SegColumn::Int { data, .. }) => out.extend(data.decode()),
+                    None => out.extend(std::iter::repeat_n(0i64, seg.rows())),
+                    _ => return None,
+                }
+            }
+            out.extend_from_slice(delta);
+            return Some(out);
+        };
+        let mut out = Vec::with_capacity(pos.len());
+        let mut i = 0;
+        for (si, seg) in self.main.iter().enumerate() {
+            let end_base = self.bases[si] + seg.rows();
+            let from = i;
+            while i < pos.len() && (pos[i] as usize) < end_base {
+                i += 1;
+            }
+            let hits = &pos[from..i];
+            if hits.is_empty() {
+                continue;
+            }
+            match seg.column(idx) {
+                Some(SegColumn::Int { data, .. }) => {
+                    if hits.len() * 8 >= seg.rows() {
+                        let dec = data.decode();
+                        out.extend(hits.iter().map(|&p| dec[p as usize - self.bases[si]]));
+                    } else {
+                        out.extend(hits.iter().map(|&p| data.get(p as usize - self.bases[si])));
+                    }
+                }
+                None => out.extend(std::iter::repeat_n(0i64, hits.len())),
+                _ => return None,
+            }
+        }
+        out.extend(pos[i..].iter().map(|&p| delta[p as usize - self.main_rows]));
+        Some(out)
+    }
+
+    /// Materializes the named columns at `positions` (ascending global
+    /// row ids; `None` = all rows) into dense output columns — the
+    /// projection step after a filter. Only the requested columns are
+    /// decoded.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] for unknown names.
+    pub fn materialize_columns(
+        &self,
+        names: &[String],
+        positions: Option<&[u32]>,
+    ) -> DbResult<Vec<(String, Column)>> {
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let idx = self
+                .schema
+                .position(name)
+                .ok_or_else(|| DbError::NoSuchColumn { table: self.name.clone(), column: name.clone() })?;
+            out.push((name.clone(), self.materialize_column(idx, positions)));
+        }
+        Ok(out)
+    }
+
+    fn materialize_column(&self, idx: usize, positions: Option<&[u32]>) -> Column {
+        let dtype = self.schema.columns()[idx].1;
+        match dtype {
+            DataType::Int64 => {
+                let name = &self.schema.columns()[idx].0;
+                Column::Int64(self.gather_ints(name, positions).expect("int column"))
+            }
+            DataType::Float64 => {
+                let delta = self.delta[idx].as_float64().expect("schema type matches storage");
+                let mut out = Vec::with_capacity(positions.map_or(self.rows, <[u32]>::len));
+                self.for_each_store(positions, |hits| match hits {
+                    StoreHits::Main { seg, base, hits } => match self.main[seg].column(idx) {
+                        Some(SegColumn::Float(v)) => match hits {
+                            Some(h) => out.extend(h.iter().map(|&p| v[p as usize - base])),
+                            None => out.extend_from_slice(v),
+                        },
+                        _ => out.extend(std::iter::repeat_n(
+                            0.0,
+                            hits.map_or(self.main[seg].rows(), <[u32]>::len),
+                        )),
+                    },
+                    StoreHits::Delta { hits } => match hits {
+                        Some(h) => out.extend(h.iter().map(|&p| delta[p as usize - self.main_rows])),
+                        None => out.extend_from_slice(delta),
+                    },
+                });
+                Column::Float64(out)
+            }
+            DataType::Str => {
+                let delta = self.delta[idx].as_str().expect("schema type matches storage");
+                let global = self.dicts[idx].as_ref().expect("string column has a dictionary");
+                let mut col = DictColumn::new();
+                self.for_each_store(positions, |hits| match hits {
+                    StoreHits::Main { seg, base, hits } => match self.main[seg].column(idx) {
+                        Some(SegColumn::Str { codes, .. }) => match hits {
+                            Some(h) if h.len() * 8 < self.main[seg].rows() => {
+                                // Sparse hits: compressed random access.
+                                for &p in h {
+                                    let code = codes.get(p as usize - base) as u32;
+                                    col.push(global.decode(code).expect("code in dict"));
+                                }
+                            }
+                            _ => {
+                                // Dense (or full): decode the codes once.
+                                let dec = codes.decode();
+                                match hits {
+                                    Some(h) => {
+                                        for &p in h {
+                                            let code = dec[p as usize - base] as u32;
+                                            col.push(global.decode(code).expect("code in dict"));
+                                        }
+                                    }
+                                    None => {
+                                        for c in dec {
+                                            col.push(global.decode(c as u32).expect("code in dict"));
+                                        }
+                                    }
+                                }
+                            }
+                        },
+                        _ => {
+                            for _ in 0..hits.map_or(self.main[seg].rows(), <[u32]>::len) {
+                                col.push("");
+                            }
+                        }
+                    },
+                    StoreHits::Delta { hits } => match hits {
+                        Some(h) => {
+                            for &p in h {
+                                col.push(delta.get(p as usize - self.main_rows).expect("delta row in range"));
+                            }
+                        }
+                        None => {
+                            for s in delta.iter() {
+                                col.push(s);
+                            }
+                        }
+                    },
+                });
+                Column::Str(col)
+            }
+        }
+    }
+
+    /// Walks the stores in row order, handing each segment (and finally
+    /// the delta) to `f` together with its slice of `positions` —
+    /// `hits: None` means "all rows of this store". Segments without
+    /// hits are skipped.
+    fn for_each_store<'p>(&self, positions: Option<&'p [u32]>, mut f: impl FnMut(StoreHits<'p>)) {
+        match positions {
+            None => {
+                for (si, _) in self.main.iter().enumerate() {
+                    f(StoreHits::Main { seg: si, base: self.bases[si], hits: None });
+                }
+                f(StoreHits::Delta { hits: None });
+            }
+            Some(pos) => {
+                let mut i = 0;
+                for (si, seg) in self.main.iter().enumerate() {
+                    let end_base = self.bases[si] + seg.rows();
+                    let from = i;
+                    while i < pos.len() && (pos[i] as usize) < end_base {
+                        i += 1;
+                    }
+                    if i > from {
+                        f(StoreHits::Main { seg: si, base: self.bases[si], hits: Some(&pos[from..i]) });
+                    }
+                }
+                if i < pos.len() {
+                    f(StoreHits::Delta { hits: Some(&pos[i..]) });
+                }
+            }
+        }
+    }
+
+    /// Materializes one whole column (main decoded + delta) by name.
+    ///
+    /// This is a full decode — query execution never calls it; it exists
+    /// for index builds, diagnostics and tests.
+    pub fn column(&self, name: &str) -> Option<Column> {
+        let idx = self.schema.position(name)?;
+        Some(self.materialize_column(idx, None))
+    }
+
+    /// The validity vector of one column (false = null sentinel); rows
+    /// in segments that predate the column are null.
+    pub fn validity(&self, name: &str) -> Option<Vec<bool>> {
+        let idx = self.schema.position(name)?;
+        let mut out = Vec::with_capacity(self.rows);
+        for seg in &self.main {
+            if idx >= seg.width() {
+                out.extend(std::iter::repeat_n(false, seg.rows()));
+            } else {
+                match seg.validity(idx) {
+                    Some(v) => out.extend_from_slice(v),
+                    None => out.extend(std::iter::repeat_n(true, seg.rows())),
+                }
+            }
+        }
+        out.extend_from_slice(&self.delta_validity[idx]);
+        Some(out)
     }
 
     /// Count of nulls in a column.
     pub fn null_count(&self, name: &str) -> Option<usize> {
-        self.validity(name).map(|v| v.iter().filter(|&&b| !b).count())
+        let idx = self.schema.position(name)?;
+        let main: usize = self.main.iter().map(|s| s.null_count(idx)).sum();
+        let delta = self.delta_validity[idx].iter().filter(|&&b| !b).count();
+        Some(main + delta)
     }
 
-    /// Materializes the whole table as a [`Chunk`].
+    /// Materializes the whole table as a [`Chunk`] (full decode).
     pub fn to_chunk(&self) -> Chunk {
-        let cols = self
-            .schema
-            .columns()
-            .iter()
-            .zip(&self.columns)
-            .map(|((n, _), c)| (n.clone(), c.clone()))
-            .collect();
+        let names: Vec<String> = self.schema.columns().iter().map(|(n, _)| n.clone()).collect();
+        let cols = self.materialize_columns(&names, None).expect("schema columns exist");
         Chunk::new(cols).expect("table columns are equal length")
     }
 
-    /// Approximate footprint in bytes.
+    /// Approximate footprint in bytes: **encoded** main segments plus the
+    /// flat delta (this is what the planner's scan costs scale with).
     pub fn size_bytes(&self) -> usize {
-        self.columns.iter().map(Column::size_bytes).sum::<usize>() + self.rows * self.columns.len() / 8
+        self.encoded_bytes() + self.rows * self.delta.len() / 8
     }
 
-    /// Per-table planner statistics.
+    /// Encoded bytes of the main store plus the (plain) delta bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        let main: usize = self.main.iter().map(Segment::encoded_bytes).sum();
+        let delta: usize = self.delta.iter().map(Column::size_bytes).sum();
+        main + delta
+    }
+
+    /// Plain bytes the same data would occupy without compression.
+    pub fn raw_bytes(&self) -> usize {
+        let main: usize = self.main.iter().map(Segment::raw_bytes).sum();
+        let delta: usize = self.delta.iter().map(Column::size_bytes).sum();
+        main + delta
+    }
+
+    /// Encoded bytes of one column across main segments plus its delta
+    /// tail — the DRAM traffic a scan of this column costs.
+    pub fn column_encoded_bytes(&self, name: &str) -> Option<usize> {
+        let idx = self.schema.position(name)?;
+        let main: usize = self.main.iter().map(|s| s.column(idx).map_or(0, SegColumn::encoded_bytes)).sum();
+        Some(main + self.delta.get(idx).map_or(0, Column::size_bytes))
+    }
+
+    /// Per-segment zone maps of an integer column (the delta tail is the
+    /// final entry), for the planner's segment-pruning estimate. `None`
+    /// for non-integer columns.
+    pub fn zone_maps(&self, name: &str) -> Option<Vec<ZoneMapMeta>> {
+        let idx = self.schema.position(name)?;
+        if self.schema.columns()[idx].1 != DataType::Int64 {
+            return None;
+        }
+        let mut zones = Vec::with_capacity(self.main.len() + 1);
+        for seg in &self.main {
+            let (min, max) = seg.zone(idx).unwrap_or((0, 0));
+            zones.push(ZoneMapMeta { rows: seg.rows() as u64, min, max });
+        }
+        let delta = self.delta[idx].as_int64()?;
+        if !delta.is_empty() {
+            let min = delta.iter().copied().min().expect("non-empty");
+            let max = delta.iter().copied().max().expect("non-empty");
+            zones.push(ZoneMapMeta { rows: delta.len() as u64, min, max });
+        }
+        Some(zones)
+    }
+
+    /// Per-table planner statistics, computed from zone maps and delta
+    /// extrema — O(segments + delta), never decoding the main store.
     pub fn planner_meta(&self) -> haec_planner::catalog::TableMeta {
         let columns = self
             .schema
             .columns()
             .iter()
-            .zip(&self.columns)
-            .map(|((name, dtype), col)| {
-                let stats = col.stats();
-                let (min, max) = match (&stats.min, &stats.max) {
-                    (Some(Value::Int(a)), Some(Value::Int(b))) => (*a, *b),
-                    _ => (0, 0),
+            .enumerate()
+            .map(|(idx, (name, dtype))| {
+                let (min, max, ndv) = match dtype {
+                    DataType::Int64 => {
+                        let (min, max) = self.int_extrema(idx);
+                        // Sum of per-segment measured counts (stored at
+                        // merge time) + the delta's measured distinct,
+                        // capped by the value range and the row count.
+                        // Over-counts values shared across stores but
+                        // never collapses a sparse domain.
+                        let measured: u64 = self
+                            .main
+                            .iter()
+                            // Segments predating the column hold one
+                            // distinct value (the null sentinel 0).
+                            .map(|s| s.ndv(idx).unwrap_or(1))
+                            .sum::<u64>()
+                            + self.delta[idx].stats().distinct;
+                        let range = (max as i128 - min as i128 + 1).max(0) as u64;
+                        (min, max, measured.min(range).min(self.rows as u64))
+                    }
+                    DataType::Str => {
+                        // Distinct = global dict + delta-local values the
+                        // global dict has not seen (no double counting).
+                        let global = self.dicts[idx].as_ref();
+                        let g = global.map_or(0, DictColumn::dict_size);
+                        let fresh = self.delta[idx].as_str().map_or(0, |local| {
+                            local
+                                .iter_dict()
+                                .filter(|s| global.is_none_or(|d| d.code_of(s).is_none()))
+                                .count()
+                        });
+                        (0, 0, ((g + fresh) as u64).min(self.rows as u64))
+                    }
+                    DataType::Float64 => (0, 0, self.rows as u64),
                 };
-                let _ = dtype;
                 haec_planner::catalog::ColumnMeta {
                     name: name.clone(),
-                    ndv: stats.distinct,
+                    ndv,
                     min,
                     max,
                     indexed: false, // the Database layer overlays index info
@@ -141,6 +643,29 @@ impl Table {
             row_bytes: (self.size_bytes() / self.rows.max(1)) as u64,
             columns,
         }
+    }
+
+    /// Min/max of an int column over zone maps + delta (0,0 if empty).
+    fn int_extrema(&self, idx: usize) -> (i64, i64) {
+        let mut acc: Option<(i64, i64)> = None;
+        let mut fold = |lo: i64, hi: i64| {
+            acc = Some(match acc {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        };
+        for seg in &self.main {
+            let (lo, hi) = seg.zone(idx).unwrap_or((0, 0));
+            fold(lo, hi);
+        }
+        if let Some(delta) = self.delta[idx].as_int64() {
+            if !delta.is_empty() {
+                let lo = delta.iter().copied().min().expect("non-empty");
+                let hi = delta.iter().copied().max().expect("non-empty");
+                fold(lo, hi);
+            }
+        }
+        acc.unwrap_or((0, 0))
     }
 }
 
@@ -160,7 +685,8 @@ mod tests {
     use haec_columnar::value::CmpOp;
 
     fn orders() -> Table {
-        let mut t = Table::new("orders", strict_schema(&[("id", DataType::Int64), ("amount", DataType::Int64)]));
+        let mut t =
+            Table::new("orders", strict_schema(&[("id", DataType::Int64), ("amount", DataType::Int64)]));
         for i in 0..10 {
             t.insert(&Record::new().with("id", i as i64).with("amount", (i * 10) as i64)).unwrap();
         }
@@ -186,6 +712,92 @@ mod tests {
     }
 
     #[test]
+    fn merge_moves_delta_to_compressed_main() {
+        let mut t = orders();
+        assert_eq!(t.delta_rows(), 10);
+        assert_eq!(t.main_rows(), 0);
+        let stats = t.merge();
+        assert_eq!(stats.rows_merged, 10);
+        assert_eq!(stats.segments_created, 1);
+        assert!(stats.encoded_bytes > 0);
+        assert_eq!(t.delta_rows(), 0);
+        assert_eq!(t.main_rows(), 10);
+        assert_eq!(t.rows(), 10);
+        // Data survives the merge unchanged, in insertion order.
+        assert_eq!(t.column("amount").unwrap().as_int64().unwrap(), &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        // Zone maps reflect the data.
+        assert_eq!(t.segments()[0].zone(0), Some((0, 9)));
+        assert_eq!(t.segments()[0].zone(1), Some((0, 90)));
+        // A second merge with an empty delta is a no-op.
+        assert_eq!(t.merge(), MergeStats::default());
+    }
+
+    #[test]
+    fn merge_interleaves_with_inserts() {
+        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        for round in 0..4 {
+            for i in 0..100i64 {
+                t.insert(&Record::new().with("v", round * 100 + i)).unwrap();
+            }
+            t.merge();
+        }
+        for i in 400..450i64 {
+            t.insert(&Record::new().with("v", i)).unwrap();
+        }
+        assert_eq!(t.segments().len(), 4);
+        assert_eq!(t.main_rows(), 400);
+        assert_eq!(t.delta_rows(), 50);
+        let v = t.column("v").unwrap();
+        let expected: Vec<i64> = (0..450).collect();
+        assert_eq!(v.as_int64().unwrap(), &expected[..]);
+        // Global row ids locate correctly on both sides of the boundary.
+        assert_eq!(t.locate(0), RowLoc::Main { seg: 0, local: 0 });
+        assert_eq!(t.locate(399), RowLoc::Main { seg: 3, local: 99 });
+        assert_eq!(t.locate(400), RowLoc::Delta { local: 0 });
+        assert_eq!(t.get_int(0, 250), Some(250));
+    }
+
+    #[test]
+    fn large_merge_splits_into_segments() {
+        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let n = SEGMENT_ROWS + 1000;
+        for i in 0..n as i64 {
+            t.insert(&Record::new().with("v", i)).unwrap();
+        }
+        let stats = t.merge();
+        assert_eq!(stats.segments_created, 2);
+        assert_eq!(t.segments()[0].rows(), SEGMENT_ROWS);
+        assert_eq!(t.segments()[1].rows(), 1000);
+        assert_eq!(t.segment_base(1), SEGMENT_ROWS);
+        // Sorted ints compress hard.
+        assert!(t.encoded_bytes() * 4 < t.raw_bytes());
+    }
+
+    #[test]
+    fn strings_survive_merge_via_global_dict() {
+        let mut t =
+            Table::new("users", strict_schema(&[("id", DataType::Int64), ("country", DataType::Str)]));
+        let countries = ["de", "us", "fr", "de"];
+        for (i, c) in countries.iter().enumerate() {
+            t.insert(&Record::new().with("id", i as i64).with("country", *c)).unwrap();
+        }
+        t.merge();
+        // New delta rows after the merge get a fresh local dictionary.
+        t.insert(&Record::new().with("id", 4i64).with("country", "jp")).unwrap();
+        t.insert(&Record::new().with("id", 5i64).with("country", "de")).unwrap();
+        let col = t.column("country").unwrap();
+        let vals: Vec<&str> = col.as_str().unwrap().iter().collect();
+        assert_eq!(vals, vec!["de", "us", "fr", "de", "jp", "de"]);
+        assert!(t.str_eq(1, 0, "de").unwrap());
+        assert!(!t.str_eq(1, 1, "de").unwrap());
+        assert!(t.str_eq(1, 5, "de").unwrap());
+        // Distinct count: "de" lives in both the global (merged) and the
+        // delta-local dictionary but is counted once — {de, us, fr, jp}.
+        let meta = t.planner_meta();
+        assert_eq!(meta.columns.iter().find(|c| c.name == "country").unwrap().ndv, 4);
+    }
+
+    #[test]
     fn flexible_table_grows_columns() {
         let mut t = Table::new("events", TableSchema::flexible());
         t.insert(&Record::new().with("a", 1i64)).unwrap();
@@ -202,12 +814,28 @@ mod tests {
     }
 
     #[test]
+    fn columns_evolved_after_merge_read_as_null() {
+        let mut t = Table::new("events", TableSchema::flexible());
+        t.insert(&Record::new().with("a", 1i64)).unwrap();
+        t.insert(&Record::new().with("a", 2i64)).unwrap();
+        t.merge();
+        t.insert(&Record::new().with("a", 3i64).with("b", 9i64)).unwrap();
+        // Segment rows predate b: null there, value in the delta.
+        assert_eq!(t.null_count("b"), Some(2));
+        assert_eq!(t.validity("b").unwrap(), vec![false, false, true]);
+        assert_eq!(t.column("b").unwrap().as_int64().unwrap(), &[0, 0, 9]);
+        assert_eq!(t.get_int(1, 0), Some(0), "sentinel for pre-evolution segment rows");
+        // And merging again folds b into the new segment.
+        t.merge();
+        assert_eq!(t.null_count("b"), Some(2));
+        assert_eq!(t.column("b").unwrap().as_int64().unwrap(), &[0, 0, 9]);
+    }
+
+    #[test]
     fn strict_rejects_drift() {
         let mut t = orders();
         assert!(t.insert(&Record::new().with("id", 1i64)).is_err(), "missing amount");
-        assert!(t
-            .insert(&Record::new().with("id", 1i64).with("amount", 1i64).with("new", 1i64))
-            .is_err());
+        assert!(t.insert(&Record::new().with("id", 1i64).with("amount", 1i64).with("new", 1i64)).is_err());
         assert_eq!(t.rows(), 10, "failed inserts must not partially apply rows");
     }
 
@@ -226,6 +854,59 @@ mod tests {
     }
 
     #[test]
+    fn planner_meta_stable_across_merge() {
+        let mut t = orders();
+        let before = t.planner_meta();
+        t.merge();
+        let after = t.planner_meta();
+        assert_eq!(before.rows, after.rows);
+        let (b, a) = (
+            before.columns.iter().find(|c| c.name == "amount").unwrap(),
+            after.columns.iter().find(|c| c.name == "amount").unwrap(),
+        );
+        assert_eq!((b.min, b.max, b.ndv), (a.min, a.max, a.ndv));
+        // Merged representation is what size (and thus scan cost) sees.
+        assert!(after.row_bytes <= before.row_bytes);
+    }
+
+    #[test]
+    fn zone_maps_cover_main_and_delta() {
+        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        for i in 0..100i64 {
+            t.insert(&Record::new().with("v", i)).unwrap();
+        }
+        t.merge();
+        for i in 500..520i64 {
+            t.insert(&Record::new().with("v", i)).unwrap();
+        }
+        let zones = t.zone_maps("v").unwrap();
+        assert_eq!(zones.len(), 2);
+        assert_eq!((zones[0].min, zones[0].max, zones[0].rows), (0, 99, 100));
+        assert_eq!((zones[1].min, zones[1].max, zones[1].rows), (500, 519, 20));
+        assert!(t.zone_maps("nope").is_none());
+    }
+
+    #[test]
+    fn gather_ints_spans_storage_kinds() {
+        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        for i in 0..200i64 {
+            t.insert(&Record::new().with("v", i * 2)).unwrap();
+        }
+        t.merge();
+        for i in 200..250i64 {
+            t.insert(&Record::new().with("v", i * 2)).unwrap();
+        }
+        // Sparse positions (compressed random access) + delta positions.
+        let pos: Vec<u32> = vec![0, 3, 199, 200, 249];
+        assert_eq!(t.gather_ints("v", Some(&pos)).unwrap(), vec![0, 6, 398, 400, 498]);
+        // Dense positions (whole-segment decode path).
+        let all: Vec<u32> = (0..250).collect();
+        let full = t.gather_ints("v", Some(&all)).unwrap();
+        assert_eq!(full, t.gather_ints("v", None).unwrap());
+        assert_eq!(full[123], 246);
+    }
+
+    #[test]
     fn size_grows_with_rows() {
         let small = orders().size_bytes();
         let mut big = orders();
@@ -233,5 +914,16 @@ mod tests {
             big.insert(&Record::new().with("id", i as i64).with("amount", 1i64)).unwrap();
         }
         assert!(big.size_bytes() > small);
+    }
+
+    #[test]
+    fn merge_threshold_knob() {
+        let mut t = orders();
+        assert_eq!(t.merge_threshold(), SEGMENT_ROWS);
+        assert!(!t.needs_merge());
+        t.set_merge_threshold(5);
+        assert!(t.needs_merge());
+        t.merge();
+        assert!(!t.needs_merge());
     }
 }

@@ -188,11 +188,7 @@ pub fn calibrate_host(reference_ghz: f64) -> HostCalibration {
     std::hint::black_box(acc);
     let ops_per_sec = ITERS as f64 / dt.max(1e-9);
     let host_ghz = ops_per_sec / 1e9;
-    HostCalibration {
-        ops_per_sec,
-        cost_scale: (reference_ghz / host_ghz).clamp(0.05, 20.0),
-        reference_ghz,
-    }
+    HostCalibration { ops_per_sec, cost_scale: (reference_ghz / host_ghz).clamp(0.05, 20.0), reference_ghz }
 }
 
 #[cfg(test)]
@@ -254,7 +250,10 @@ mod tests {
         let c = KernelCosts::default_2013();
         let s = c.scaled(2.0);
         assert_eq!(s.scale(), 2.0);
-        assert_eq!(s.cycles_for(Kernel::AggUpdate, 100).count(), 2 * c.cycles_for(Kernel::AggUpdate, 100).count());
+        assert_eq!(
+            s.cycles_for(Kernel::AggUpdate, 100).count(),
+            2 * c.cycles_for(Kernel::AggUpdate, 100).count()
+        );
     }
 
     #[test]

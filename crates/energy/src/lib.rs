@@ -50,7 +50,9 @@ pub mod prelude {
     pub use crate::calibrate::{Kernel, KernelCosts};
     pub use crate::machine::{CoprocSpec, DiskSpec, DramSpec, MachineSpec, NicSpec};
     pub use crate::meter::{Domain, EnergyMeter, EnergySnapshot};
-    pub use crate::profile::{CostEstimate, CostEstimator, EnergyBreakdown, ExecutionContext, ResourceProfile};
+    pub use crate::profile::{
+        CostEstimate, CostEstimator, EnergyBreakdown, ExecutionContext, ResourceProfile,
+    };
     pub use crate::pstate::{CState, PState, PStateId, PStateTable};
     pub use crate::units::{ByteCount, Cycles, Hertz, Joules, Volts, Watts};
 }

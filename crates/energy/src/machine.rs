@@ -28,12 +28,7 @@ impl DramSpec {
     /// 64 GiB of DDR3-1600: ~0.35 W/GiB refresh, ~60 pJ/B dynamic,
     /// ~40 GB/s per socket.
     pub fn ddr3_64gib() -> Self {
-        DramSpec {
-            capacity_gib: 64.0,
-            static_w_per_gib: 0.35,
-            pj_per_byte: 60.0,
-            bandwidth: 40.0e9,
-        }
+        DramSpec { capacity_gib: 64.0, static_w_per_gib: 0.35, pj_per_byte: 60.0, bandwidth: 40.0e9 }
     }
 
     /// Static (refresh + background) power of the whole DIMM population.

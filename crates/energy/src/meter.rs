@@ -33,14 +33,8 @@ pub enum Domain {
 
 impl Domain {
     /// All domains in canonical order.
-    pub const ALL: [Domain; 6] = [
-        Domain::Package,
-        Domain::Cores,
-        Domain::Dram,
-        Domain::Nic,
-        Domain::Disk,
-        Domain::Coproc,
-    ];
+    pub const ALL: [Domain; 6] =
+        [Domain::Package, Domain::Cores, Domain::Dram, Domain::Nic, Domain::Disk, Domain::Coproc];
 }
 
 impl fmt::Display for Domain {

@@ -103,7 +103,12 @@ impl fmt::Display for ResourceProfile {
         write!(
             f,
             "{} cpu, {} dram-r, {} dram-w, {} nic, {} disk ({} seeks)",
-            self.cpu_cycles, self.dram_read, self.dram_written, self.nic_bytes, self.disk_read, self.disk_seeks
+            self.cpu_cycles,
+            self.dram_read,
+            self.dram_written,
+            self.nic_bytes,
+            self.disk_read,
+            self.disk_seeks
         )
     }
 }
@@ -271,11 +276,8 @@ impl CostEstimator {
             profile.cpu_cycles.count() as f64 / (freq.hertz() * cores)
         };
         let dram_bytes = profile.dram_read + profile.dram_written;
-        let dram_time = if dram_bytes.bytes() == 0 {
-            0.0
-        } else {
-            dram_bytes.bytes() as f64 / m.dram().bandwidth
-        };
+        let dram_time =
+            if dram_bytes.bytes() == 0 { 0.0 } else { dram_bytes.bytes() as f64 / m.dram().bandwidth };
         let busy = cpu_time.max(dram_time);
 
         // --- serialized phases ------------------------------------------
@@ -291,26 +293,27 @@ impl CostEstimator {
             }
             _ => (0.0, Joules::ZERO),
         };
-        let (coproc_time, coproc_energy) = match (m.coproc(), profile.coproc_items, profile.coproc_link_bytes.bytes()) {
-            (Some(c), items, link) if items > 0 || link > 0 => {
-                let launch = if items > 0 { c.launch_latency_s } else { 0.0 };
-                let work = items as f64 / c.items_per_sec;
-                let xfer = link as f64 / c.link_bandwidth;
-                let t = launch + work + xfer;
-                let busy_e = Watts::new(c.busy_w - c.idle_w) * Duration::from_secs_f64(launch + work);
-                let link_e = Joules::new(link as f64 * c.link_pj_per_byte * 1e-12);
-                (t, busy_e + link_e)
-            }
-            _ => (0.0, Joules::ZERO),
-        };
+        let (coproc_time, coproc_energy) =
+            match (m.coproc(), profile.coproc_items, profile.coproc_link_bytes.bytes()) {
+                (Some(c), items, link) if items > 0 || link > 0 => {
+                    let launch = if items > 0 { c.launch_latency_s } else { 0.0 };
+                    let work = items as f64 / c.items_per_sec;
+                    let xfer = link as f64 / c.link_bandwidth;
+                    let t = launch + work + xfer;
+                    let busy_e = Watts::new(c.busy_w - c.idle_w) * Duration::from_secs_f64(launch + work);
+                    let link_e = Joules::new(link as f64 * c.link_pj_per_byte * 1e-12);
+                    (t, busy_e + link_e)
+                }
+                _ => (0.0, Joules::ZERO),
+            };
 
         let total_time = busy + nic_time + disk_time + coproc_time;
 
         // --- energy ------------------------------------------------------
         let core_power = ps.core_power(ctx.pstate, CState::Active);
         let cpu_energy = core_power * cores * Duration::from_secs_f64(busy);
-        let dram_energy = m.dram().dynamic_energy(dram_bytes)
-            + m.dram().static_power() * Duration::from_secs_f64(busy);
+        let dram_energy =
+            m.dram().dynamic_energy(dram_bytes) + m.dram().static_power() * Duration::from_secs_f64(busy);
         let nic_energy = m.nic().dynamic_energy(profile.nic_bytes);
 
         let breakdown = EnergyBreakdown {
@@ -320,11 +323,7 @@ impl CostEstimator {
             disk: disk_energy,
             coproc: coproc_energy,
         };
-        CostEstimate {
-            time: Duration::from_secs_f64(total_time),
-            energy: breakdown.total(),
-            breakdown,
-        }
+        CostEstimate { time: Duration::from_secs_f64(total_time), energy: breakdown.total(), breakdown }
     }
 
     /// Estimates and simultaneously charges the energy to `meter`,

@@ -149,17 +149,8 @@ impl PStateTable {
     /// range reported by Tsirogiannis et al. (SIGMOD 2010) for a
     /// comparable server; the reproduction only relies on their shape.
     pub fn xeon_2013() -> Self {
-        let pts = [
-            (1.2, 0.80),
-            (1.6, 0.90),
-            (2.0, 0.95),
-            (2.4, 1.00),
-            (2.9, 1.10),
-        ];
-        let states = pts
-            .iter()
-            .map(|&(f, v)| PState::new(Hertz::from_ghz(f), Volts::new(v)))
-            .collect();
+        let pts = [(1.2, 0.80), (1.6, 0.90), (2.0, 0.95), (2.4, 1.00), (2.9, 1.10)];
+        let states = pts.iter().map(|&(f, v)| PState::new(Hertz::from_ghz(f), Volts::new(v))).collect();
         // C_eff chosen so the top state draws ~10.2 W dynamic:
         // 2.9e9 Hz * 1.1^2 V^2 * 2.9e-9 ≈ 10.2 W.
         PStateTable::new(states, 2.9e-9, Watts::new(4.0), Volts::new(1.1))

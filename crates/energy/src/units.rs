@@ -490,9 +490,7 @@ mod tests {
 
     #[test]
     fn cycles_sum_and_mul() {
-        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)]
-            .into_iter()
-            .sum();
+        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)].into_iter().sum();
         assert_eq!(total, Cycles::new(6));
         assert_eq!(Cycles::new(5) * 3, Cycles::new(15));
     }

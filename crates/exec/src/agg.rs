@@ -133,7 +133,11 @@ pub fn group_aggregate(keys: &[i64], values: &[i64]) -> Vec<(i64, AggState)> {
 }
 
 /// Metered variant of [`group_aggregate`].
-pub fn group_aggregate_metered(keys: &[i64], values: &[i64], costs: &KernelCosts) -> (Vec<(i64, AggState)>, OpStats) {
+pub fn group_aggregate_metered(
+    keys: &[i64],
+    values: &[i64],
+    costs: &KernelCosts,
+) -> (Vec<(i64, AggState)>, OpStats) {
     let start = Instant::now();
     let out = group_aggregate(keys, values);
     let wall = start.elapsed();
@@ -162,12 +166,8 @@ pub enum SyncStrategy {
 
 impl SyncStrategy {
     /// All strategies in canonical order.
-    pub const ALL: [SyncStrategy; 4] = [
-        SyncStrategy::Mutex,
-        SyncStrategy::Atomic,
-        SyncStrategy::Optimistic,
-        SyncStrategy::Partitioned,
-    ];
+    pub const ALL: [SyncStrategy; 4] =
+        [SyncStrategy::Mutex, SyncStrategy::Atomic, SyncStrategy::Optimistic, SyncStrategy::Partitioned];
 }
 
 impl fmt::Display for SyncStrategy {
@@ -301,7 +301,8 @@ pub fn parallel_group_sum(
             cells.into_iter().map(AtomicI64::into_inner).collect()
         }
         SyncStrategy::Partitioned => {
-            let partials: Vec<Mutex<Vec<i64>>> = (0..threads).map(|_| Mutex::new(vec![0i64; groups])).collect();
+            let partials: Vec<Mutex<Vec<i64>>> =
+                (0..threads).map(|_| Mutex::new(vec![0i64; groups])).collect();
             crossbeam::scope(|scope| {
                 for t in 0..threads {
                     let partial = &partials[t];
@@ -333,7 +334,12 @@ pub fn parallel_group_sum(
         }
     };
 
-    ParallelAggReport { sums, threads, wall: start.elapsed(), retries: retries.load(Ordering::Relaxed) as u64 }
+    ParallelAggReport {
+        sums,
+        threads,
+        wall: start.elapsed(),
+        retries: retries.load(Ordering::Relaxed) as u64,
+    }
 }
 
 /// First-order analytic speedup model for thread counts beyond the
@@ -484,8 +490,10 @@ mod tests {
         let mutex = predicted_speedup(SyncStrategy::Mutex, t, g);
         let atomic = predicted_speedup(SyncStrategy::Atomic, t, g);
         let optimistic = predicted_speedup(SyncStrategy::Optimistic, t, g);
-        assert!(part > atomic && atomic > optimistic && optimistic > mutex,
-            "part={part:.1} atomic={atomic:.1} opt={optimistic:.1} mutex={mutex:.1}");
+        assert!(
+            part > atomic && atomic > optimistic && optimistic > mutex,
+            "part={part:.1} atomic={atomic:.1} opt={optimistic:.1} mutex={mutex:.1}"
+        );
         // With many groups, contention vanishes and all strategies are
         // within 2x of each other.
         let g = 100_000;
@@ -493,7 +501,10 @@ mod tests {
         let hi = SyncStrategy::ALL.iter().map(|&s| predicted_speedup(s, t, g)).fold(0.0, f64::max);
         assert!(hi / lo < 2.0, "lo={lo} hi={hi}");
         // Monotone in t for partitioned.
-        assert!(predicted_speedup(SyncStrategy::Partitioned, 64, 16) > predicted_speedup(SyncStrategy::Partitioned, 8, 16));
+        assert!(
+            predicted_speedup(SyncStrategy::Partitioned, 64, 16)
+                > predicted_speedup(SyncStrategy::Partitioned, 8, 16)
+        );
     }
 
     #[test]

@@ -68,11 +68,7 @@ impl HashJoin {
 
     /// Probes and reports semi-join (exists) matches only.
     pub fn probe_semi(&self, keys: &[i64]) -> Vec<u32> {
-        keys.iter()
-            .enumerate()
-            .filter(|(_, k)| self.table.contains_key(k))
-            .map(|(j, _)| j as u32)
-            .collect()
+        keys.iter().enumerate().filter(|(_, k)| self.table.contains_key(k)).map(|(j, _)| j as u32).collect()
     }
 }
 
@@ -135,7 +131,11 @@ pub fn sort_merge_join(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
 }
 
 /// Metered variant of [`sort_merge_join`].
-pub fn sort_merge_join_metered(left: &[i64], right: &[i64], costs: &KernelCosts) -> (Vec<(u32, u32)>, OpStats) {
+pub fn sort_merge_join_metered(
+    left: &[i64],
+    right: &[i64],
+    costs: &KernelCosts,
+) -> (Vec<(u32, u32)>, OpStats) {
     let start = Instant::now();
     let pairs = sort_merge_join(left, right);
     let wall = start.elapsed();

@@ -72,7 +72,8 @@ mod tests {
 
     #[test]
     fn selectivity_and_throughput() {
-        let s = OpStats { items_in: 100, items_out: 25, wall: Duration::from_millis(10), ..Default::default() };
+        let s =
+            OpStats { items_in: 100, items_out: 25, wall: Duration::from_millis(10), ..Default::default() };
         assert_eq!(s.selectivity(), 0.25);
         let tp = s.throughput().unwrap();
         assert!((tp - 10_000.0).abs() < 1.0);

@@ -74,7 +74,14 @@ impl MorselDispenser {
 /// # Panics
 ///
 /// Panics if `threads` is zero or a worker panics.
-pub fn parallel_morsels<T, W, M>(total: usize, threads: usize, morsel_rows: usize, work: W, merge: M, zero: T) -> T
+pub fn parallel_morsels<T, W, M>(
+    total: usize,
+    threads: usize,
+    morsel_rows: usize,
+    work: W,
+    merge: M,
+    zero: T,
+) -> T
 where
     T: Send,
     W: Fn(Morsel) -> T + Sync,

@@ -86,9 +86,7 @@ impl Operator for FilterOp {
     }
 
     fn apply(&mut self, input: &Chunk) -> Result<(Chunk, OpStats), ExecError> {
-        let col = input
-            .column(&self.column)
-            .ok_or_else(|| ExecError::MissingColumn(self.column.clone()))?;
+        let col = input.column(&self.column).ok_or_else(|| ExecError::MissingColumn(self.column.clone()))?;
         let data = col
             .as_int64()
             .ok_or_else(|| ExecError::WrongType { column: self.column.clone(), expected: "int64" })?;
@@ -197,7 +195,8 @@ impl Operator for AggregateOp {
             Some(g) => {
                 let keys = int_column(input, g)?;
                 let grouped = group_aggregate(keys, values);
-                let key_col: Column = grouped.iter().map(|&(k, _)| k).collect::<Vec<i64>>().into_iter().collect();
+                let key_col: Column =
+                    grouped.iter().map(|&(k, _)| k).collect::<Vec<i64>>().into_iter().collect();
                 let val_col: Column = grouped
                     .iter()
                     .map(|(_, s)| s.value(self.kind).unwrap_or(f64::NAN))

@@ -342,11 +342,7 @@ mod tests {
     use super::*;
 
     fn reference(data: &[i64], op: CmpOp, lit: i64) -> Vec<u32> {
-        data.iter()
-            .enumerate()
-            .filter(|(_, &v)| cmp(op, v, lit))
-            .map(|(i, _)| i as u32)
-            .collect()
+        data.iter().enumerate().filter(|(_, &v)| cmp(op, v, lit)).map(|(i, _)| i as u32).collect()
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod topology;
 pub mod prelude {
     pub use crate::linksim::{LinkSim, TransferOutcome};
     pub use crate::shipping::{
-        cost_compressed, cost_raw, decide, time_crossover_bandwidth, CompressorSpec, Objective,
-        ShipCost, ShippingChoice,
+        cost_compressed, cost_raw, decide, time_crossover_bandwidth, CompressorSpec, Objective, ShipCost,
+        ShippingChoice,
     };
     pub use crate::topology::{Link, LinkClass, LinkSpec, NetError, NodeId, Topology};
 }

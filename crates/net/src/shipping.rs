@@ -50,22 +50,12 @@ pub struct CompressorSpec {
 impl CompressorSpec {
     /// A lightweight (RLE/dictionary-class) codec: fast, modest ratio.
     pub fn lightweight(ratio: f64) -> Self {
-        CompressorSpec {
-            ratio,
-            compress_bps: 3.0e9,
-            decompress_bps: 5.0e9,
-            core_power: Watts::new(12.0),
-        }
+        CompressorSpec { ratio, compress_bps: 3.0e9, decompress_bps: 5.0e9, core_power: Watts::new(12.0) }
     }
 
     /// A heavyweight (LZ-class) codec: slower, better ratio.
     pub fn heavyweight(ratio: f64) -> Self {
-        CompressorSpec {
-            ratio,
-            compress_bps: 300.0e6,
-            decompress_bps: 800.0e6,
-            core_power: Watts::new(14.0),
-        }
+        CompressorSpec { ratio, compress_bps: 300.0e6, decompress_bps: 800.0e6, core_power: Watts::new(14.0) }
     }
 }
 
@@ -104,11 +94,7 @@ impl ShippingChoice {
 
 /// Costs shipping `payload` raw over `link`.
 pub fn cost_raw(payload: ByteCount, link: &LinkSpec) -> ShipCost {
-    ShipCost {
-        time: link.transfer_time(payload),
-        energy: link.transfer_energy(payload),
-        wire_bytes: payload,
-    }
+    ShipCost { time: link.transfer_time(payload), energy: link.transfer_energy(payload), wire_bytes: payload }
 }
 
 /// Costs shipping `payload` compressed with `codec` over `link`
@@ -123,11 +109,7 @@ pub fn cost_compressed(payload: ByteCount, codec: &CompressorSpec, link: &LinkSp
     let t_wire = link.transfer_time(wire);
     let e_codec = codec.core_power * (t_compress + t_decompress);
     let e_wire = link.transfer_energy(wire);
-    ShipCost {
-        time: t_compress + t_wire + t_decompress,
-        energy: e_codec + e_wire,
-        wire_bytes: wire,
-    }
+    ShipCost { time: t_compress + t_wire + t_decompress, energy: e_codec + e_wire, wire_bytes: wire }
 }
 
 /// Decides raw vs compressed for `payload` over `link` under

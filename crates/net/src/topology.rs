@@ -186,7 +186,11 @@ impl Topology {
     }
 
     fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
-        if a <= b { (a, b) } else { (b, a) }
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
     }
 
     /// Adds (or replaces) a bidirectional link of `class`.
@@ -233,7 +237,12 @@ impl Topology {
     /// # Errors
     ///
     /// Returns [`NetError::NoRoute`] if no enabled direct link exists.
-    pub fn transfer(&self, a: NodeId, b: NodeId, bytes: ByteCount) -> Result<(Duration, ResourceProfile), NetError> {
+    pub fn transfer(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        bytes: ByteCount,
+    ) -> Result<(Duration, ResourceProfile), NetError> {
         let link = self.links.get(&Self::key(a, b)).filter(|l| l.enabled);
         match link {
             None => Err(NetError::NoRoute(a, b)),

@@ -126,8 +126,20 @@ pub fn synthetic_star_catalog(dimensions: usize, fact_rows: u64) -> Catalog {
             rows,
             row_bytes: 64,
             columns: vec![
-                ColumnMeta { name: format!("{name}_key"), ndv: rows, min: 0, max: rows as i64 - 1, indexed: true },
-                ColumnMeta { name: format!("{name}_attr"), ndv: rows / 10 + 1, min: 0, max: 1000, indexed: false },
+                ColumnMeta {
+                    name: format!("{name}_key"),
+                    ndv: rows,
+                    min: 0,
+                    max: rows as i64 - 1,
+                    indexed: true,
+                },
+                ColumnMeta {
+                    name: format!("{name}_attr"),
+                    ndv: rows / 10 + 1,
+                    min: 0,
+                    max: 1000,
+                    indexed: false,
+                },
             ],
         });
         fact_cols.push(ColumnMeta {
@@ -138,7 +150,12 @@ pub fn synthetic_star_catalog(dimensions: usize, fact_rows: u64) -> Catalog {
             indexed: false,
         });
     }
-    cat.register(TableMeta { name: "fact".into(), rows: fact_rows, row_bytes: 8 * (dimensions as u64 + 1), columns: fact_cols });
+    cat.register(TableMeta {
+        name: "fact".into(),
+        rows: fact_rows,
+        row_bytes: 8 * (dimensions as u64 + 1),
+        columns: fact_cols,
+    });
     cat
 }
 

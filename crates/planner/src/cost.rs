@@ -103,6 +103,22 @@ impl CostModel {
         self.finish(ResourceProfile::scan(cycles, ByteCount::new(rows * row_bytes)))
     }
 
+    /// Cost of a scan over a **segmented, compressed** table: predicates
+    /// run directly on encoded data, so DRAM traffic is the column's
+    /// `encoded_bytes` rather than `rows * row_bytes`, and zone-map
+    /// pruning leaves only `live_frac` of segments (rows *and* bytes) to
+    /// touch. CPU cost stays per-row over the surviving rows (the
+    /// bitwise scan kernel), plus materialization of the expected
+    /// matches.
+    pub fn scan_compressed(&self, rows: u64, encoded_bytes: u64, sel: f64, live_frac: f64) -> PlanCost {
+        let live_frac = live_frac.clamp(0.0, 1.0);
+        let live_rows = (rows as f64 * live_frac).ceil() as u64;
+        let cycles = self.costs.cycles_for(Kernel::SelectBitwise, live_rows)
+            + self.costs.cycles_for(Kernel::Materialize, (sel * rows as f64) as u64);
+        let bytes = (encoded_bytes as f64 * live_frac).ceil() as u64;
+        self.finish(ResourceProfile::scan(cycles, ByteCount::new(bytes)))
+    }
+
     /// Cost of resolving the same predicate through an index returning
     /// `matches` rows (tree descent per match batch + row fetches).
     pub fn index_lookup(&self, matches: u64, row_bytes: u64) -> PlanCost {

@@ -190,9 +190,8 @@ pub fn plan_greedy(g: &JoinGraph) -> PlanSummary {
         card: f64,
         edges: HashMap<usize, f64>,
     }
-    let mut comps: Vec<Option<Comp>> = (0..n)
-        .map(|i| Some(Comp { card: g.rows[i], edges: g.adj[i].clone() }))
-        .collect();
+    let mut comps: Vec<Option<Comp>> =
+        (0..n).map(|i| Some(Comp { card: g.rows[i], edges: g.adj[i].clone() })).collect();
     let mut alive = n;
     let mut cout = 0.0;
     let mut final_card = g.rows[0];
@@ -269,9 +268,7 @@ pub fn plan_left_deep(g: &JoinGraph) -> PlanSummary {
     use std::collections::BinaryHeap;
 
     let n = g.len();
-    let start = (0..n)
-        .min_by(|&a, &b| g.rows[a].partial_cmp(&g.rows[b]).unwrap())
-        .expect("non-empty graph");
+    let start = (0..n).min_by(|&a, &b| g.rows[a].partial_cmp(&g.rows[b]).unwrap()).expect("non-empty graph");
 
     let mut joined = vec![false; n];
     // Pending selectivity between each relation and the current prefix.
@@ -355,19 +352,15 @@ mod tests {
 
     #[test]
     fn dp_is_never_worse() {
-        for g in [
-            JoinGraph::chain(8, 10_000.0, 0.001),
-            JoinGraph::star(8, 1_000_000.0, 500.0),
-            {
-                let mut g = JoinGraph::new(vec![10.0, 1e6, 1e3, 1e5, 50.0]);
-                g.add_edge(0, 1, 0.1);
-                g.add_edge(1, 2, 0.001);
-                g.add_edge(2, 3, 0.01);
-                g.add_edge(3, 4, 0.5);
-                g.add_edge(0, 4, 0.2);
-                g
-            },
-        ] {
+        for g in [JoinGraph::chain(8, 10_000.0, 0.001), JoinGraph::star(8, 1_000_000.0, 500.0), {
+            let mut g = JoinGraph::new(vec![10.0, 1e6, 1e3, 1e5, 50.0]);
+            g.add_edge(0, 1, 0.1);
+            g.add_edge(1, 2, 0.001);
+            g.add_edge(2, 3, 0.01);
+            g.add_edge(3, 4, 0.5);
+            g.add_edge(0, 4, 0.2);
+            g
+        }] {
             let dp = plan_dp(&g).cout;
             let gr = plan_greedy(&g).cout;
             let ld = plan_left_deep(&g).cout;

@@ -7,11 +7,11 @@
 //! * [`catalog`] — table/column statistics, incl. a 10 000-table
 //!   synthetic catalog generator (§II's ERP scenario).
 //! * [`cost`] — every alternative costed in time **and** energy.
-//! * [`access`] — index-vs-scan selection (experiment E1, ref [12]).
+//! * [`access`] — index-vs-scan selection (experiment E1, ref \[12\]).
 //! * [`join_order`] — exhaustive DP vs greedy vs left-deep ordering at
 //!   catalog scale (experiment E8).
 //! * [`placement`] — CPU vs co-processor placement with init/work/finish
-//!   phase splitting (experiment E6, refs [9][16]).
+//!   phase splitting (experiment E6, refs \[9\]\[16\]).
 //! * [`optimizer`] — Fig. 2's decision rule: fastest plan under an
 //!   energy budget / cheapest plan under a deadline, plus Pareto
 //!   frontiers.

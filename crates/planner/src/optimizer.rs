@@ -76,17 +76,14 @@ pub fn choose(candidates: &[PlanCost], goal: Goal) -> Result<usize, ChooseError>
     let indexed = candidates.iter().enumerate();
     let best = match goal {
         Goal::MinTime => indexed.min_by(|a, b| a.1.time.cmp(&b.1.time)),
-        Goal::MinEnergy => indexed.min_by(|a, b| {
-            a.1.energy.joules().partial_cmp(&b.1.energy.joules()).expect("energy is not NaN")
-        }),
+        Goal::MinEnergy => indexed
+            .min_by(|a, b| a.1.energy.joules().partial_cmp(&b.1.energy.joules()).expect("energy is not NaN")),
         Goal::MinTimeUnderEnergyBudget(budget) => indexed
             .filter(|(_, c)| c.energy.joules() <= budget.joules())
             .min_by(|a, b| a.1.time.cmp(&b.1.time)),
         Goal::MinEnergyUnderDeadline(deadline) => indexed
             .filter(|(_, c)| c.time <= deadline)
-            .min_by(|a, b| {
-                a.1.energy.joules().partial_cmp(&b.1.energy.joules()).expect("energy is not NaN")
-            }),
+            .min_by(|a, b| a.1.energy.joules().partial_cmp(&b.1.energy.joules()).expect("energy is not NaN")),
     };
     best.map(|(i, _)| i).ok_or(ChooseError::Infeasible)
 }

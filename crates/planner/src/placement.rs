@@ -52,7 +52,7 @@ pub struct PhasedOperator {
     /// CPU cost of one work() item in cycles — what separates memory-
     /// bound scans (a few cycles, offload never pays once transfer is
     /// counted) from compute-intensive operators like frequent-itemset
-    /// mining (paper ref [8]), where the device wins.
+    /// mining (paper ref \[8\]), where the device wins.
     pub cpu_cycles_per_item: f64,
 }
 
@@ -71,7 +71,7 @@ impl PhasedOperator {
     }
 
     /// A compute-intensive kernel (pattern matching / itemset mining,
-    /// paper ref [8]): ~80 CPU cycles per item, same transfer volume.
+    /// paper ref \[8\]): ~80 CPU cycles per item, same transfer volume.
     pub fn complex_kernel(rows: u64) -> Self {
         PhasedOperator {
             init_items: 1024,
@@ -111,10 +111,7 @@ fn cpu_cycles_cost(machine: &MachineSpec, cycles: f64) -> PlanCost {
     let cores = machine.cores() as f64;
     let time = cycles / (table.state(ps).frequency().hertz() * cores);
     let power = table.core_power(ps, CState::Active) * cores;
-    PlanCost {
-        time: Duration::from_secs_f64(time),
-        energy: power * Duration::from_secs_f64(time),
-    }
+    PlanCost { time: Duration::from_secs_f64(time), energy: power * Duration::from_secs_f64(time) }
 }
 
 fn cpu_phase_cost(machine: &MachineSpec, costs: &KernelCosts, items: u64, kernel: Kernel) -> PlanCost {
@@ -123,7 +120,11 @@ fn cpu_phase_cost(machine: &MachineSpec, costs: &KernelCosts, items: u64, kernel
 
 /// Costs and chooses the placement of `op` on `machine` (with
 /// `machine.coproc()` as the candidate device).
-pub fn choose_placement(machine: &MachineSpec, costs: &KernelCosts, op: &PhasedOperator) -> PlacementDecision {
+pub fn choose_placement(
+    machine: &MachineSpec,
+    costs: &KernelCosts,
+    op: &PhasedOperator,
+) -> PlacementDecision {
     let init = cpu_phase_cost(machine, costs, op.init_items, Kernel::Materialize);
     let finish = cpu_phase_cost(machine, costs, op.finish_items, Kernel::Materialize);
     let cpu_work = cpu_cycles_cost(machine, op.work_items as f64 * op.cpu_cycles_per_item);
@@ -191,7 +192,13 @@ mod tests {
     #[test]
     fn huge_complex_work_offloads() {
         let d = choose_placement(&gpu_machine(), &costs(), &PhasedOperator::complex_kernel(2_000_000_000));
-        assert_eq!(d.placement, Placement::HybridOffload, "cpu {} vs hybrid {}", d.cpu_cost, d.hybrid_cost.unwrap());
+        assert_eq!(
+            d.placement,
+            Placement::HybridOffload,
+            "cpu {} vs hybrid {}",
+            d.cpu_cost,
+            d.hybrid_cost.unwrap()
+        );
     }
 
     #[test]

@@ -178,7 +178,8 @@ mod tests {
     fn elastic_saves_energy_vs_static_peak() {
         let m = machine();
         let trace = diurnal_trace(96, 800.0);
-        let static_peak = run_cluster_sim(&m, Provisioning::Static(8), &trace, 100.0, Duration::from_secs(900));
+        let static_peak =
+            run_cluster_sim(&m, Provisioning::Static(8), &trace, 100.0, Duration::from_secs(900));
         let elastic = run_cluster_sim(
             &m,
             Provisioning::Elastic { target_utilization: 0.85, min_nodes: 1, max_nodes: 8, boot_steps: 1 },
@@ -230,7 +231,12 @@ mod tests {
             100.0,
             Duration::from_secs(900),
         );
-        assert!(slow.sla_violations >= fast.sla_violations, "{} vs {}", slow.sla_violations, fast.sla_violations);
+        assert!(
+            slow.sla_violations >= fast.sla_violations,
+            "{} vs {}",
+            slow.sla_violations,
+            fast.sla_violations
+        );
     }
 
     #[test]
@@ -265,7 +271,8 @@ mod tests {
             Duration::from_secs(900),
         );
         let peak_load_idx = trace.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
-        let trough_load_idx = trace.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let trough_load_idx =
+            trace.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(r.nodes_per_step[peak_load_idx] > r.nodes_per_step[trough_load_idx]);
     }
 

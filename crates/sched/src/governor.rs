@@ -135,14 +135,14 @@ pub fn decide(policy: GovernorPolicy, table: &PStateTable, input: GovernorInput)
                 }
             }
             match best {
-                Some((pstate, cores)) => GovernorDecision { pstate, core_cap: cores, idle_cstate: CState::Parked },
+                Some((pstate, cores)) => {
+                    GovernorDecision { pstate, core_cap: cores, idle_cstate: CState::Parked }
+                }
                 // Cap below even one slowest core: run one core slowest
                 // (the budget is a soft constraint; we degrade, not halt).
-                None => GovernorDecision {
-                    pstate: table.slowest(),
-                    core_cap: 1,
-                    idle_cstate: CState::Parked,
-                },
+                None => {
+                    GovernorDecision { pstate: table.slowest(), core_cap: 1, idle_cstate: CState::Parked }
+                }
             }
         }
     }

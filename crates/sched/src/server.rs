@@ -73,9 +73,7 @@ pub struct ServerSimResult {
 #[derive(Clone, Copy, Debug)]
 enum Event {
     Arrival,
-    Done {
-        core: usize,
-    },
+    Done { core: usize },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -104,7 +102,13 @@ pub fn run_server_sim(cfg: &ServerSimConfig) -> ServerSimResult {
     let mut current_decision = decide(
         cfg.governor,
         &table,
-        GovernorInput { queued: 0, busy_cores: 0, total_cores: cores, head_work_cycles: 0, current: table.slowest() },
+        GovernorInput {
+            queued: 0,
+            busy_cores: 0,
+            total_cores: cores,
+            head_work_cycles: 0,
+            current: table.slowest(),
+        },
     );
     let horizon = SimTime::ZERO + cfg.horizon;
     let mut last = SimTime::ZERO;
@@ -159,7 +163,16 @@ pub fn run_server_sim(cfg: &ServerSimConfig) -> ServerSimResult {
             break;
         }
         let (now, event) = queue.pop().expect("peeked");
-        integrate(&mut meter, &running, &current_decision, &cfg.machine, &table, last, now, &mut busy_core_seconds);
+        integrate(
+            &mut meter,
+            &running,
+            &current_decision,
+            &cfg.machine,
+            &table,
+            last,
+            now,
+            &mut busy_core_seconds,
+        );
         last = now;
 
         match event {
@@ -208,7 +221,16 @@ pub fn run_server_sim(cfg: &ServerSimConfig) -> ServerSimResult {
         }
     }
     // Integrate the tail to the horizon.
-    integrate(&mut meter, &running, &current_decision, &cfg.machine, &table, last, horizon, &mut busy_core_seconds);
+    integrate(
+        &mut meter,
+        &running,
+        &current_decision,
+        &cfg.machine,
+        &table,
+        last,
+        horizon,
+        &mut busy_core_seconds,
+    );
 
     let horizon_s = cfg.horizon.as_secs_f64();
     let energy = meter.grand_total();
@@ -230,10 +252,7 @@ mod tests {
     use super::*;
 
     fn base() -> ServerSimConfig {
-        ServerSimConfig {
-            horizon: Duration::from_secs(20),
-            ..ServerSimConfig::default_mix()
-        }
+        ServerSimConfig { horizon: Duration::from_secs(20), ..ServerSimConfig::default_mix() }
     }
 
     #[test]
@@ -280,8 +299,12 @@ mod tests {
         // Pacing runs slower but at a more efficient voltage point; with
         // parked idle cores both are close, but pace must not burn MORE
         // core energy.
-        assert!(rp.energy.joules() <= rr.energy.joules() * 1.05,
-            "pace {} J vs race {} J", rp.energy.joules(), rr.energy.joules());
+        assert!(
+            rp.energy.joules() <= rr.energy.joules() * 1.05,
+            "pace {} J vs race {} J",
+            rp.energy.joules(),
+            rr.energy.joules()
+        );
     }
 
     #[test]
@@ -335,11 +358,6 @@ mod tests {
         let r = run_server_sim(&cfg);
         // Compare against the machine's idle floor.
         let floor = cfg.machine.idle_floor().watts();
-        assert!(
-            r.avg_power.watts() < floor * 1.5,
-            "avg {} W vs floor {} W",
-            r.avg_power.watts(),
-            floor
-        );
+        assert!(r.avg_power.watts() < floor * 1.5, "avg {} W vs floor {} W", r.avg_power.watts(), floor);
     }
 }

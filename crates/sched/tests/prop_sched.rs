@@ -1,11 +1,11 @@
 //! Property-based tests: governor envelopes and simulation determinism.
 
+use haec_energy::machine::MachineSpec;
 use haec_energy::pstate::{CState, PStateTable};
 use haec_energy::units::Watts;
 use haec_sched::elastic::{diurnal_trace, run_cluster_sim, Provisioning};
 use haec_sched::governor::{decide, GovernorInput, GovernorPolicy};
 use haec_sched::server::{run_server_sim, ServerSimConfig};
-use haec_energy::machine::MachineSpec;
 use proptest::prelude::*;
 use std::time::Duration;
 

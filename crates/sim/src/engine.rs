@@ -120,10 +120,7 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("now", &self.now)
-            .field("pending", &self.heap.len())
-            .finish()
+        f.debug_struct("EventQueue").field("now", &self.now).field("pending", &self.heap.len()).finish()
     }
 }
 
@@ -159,7 +156,11 @@ pub enum RunOutcome {
 
 /// Drives `world` until the queue drains, `horizon` passes, or the world
 /// returns `false`. Returns the outcome and the final virtual time.
-pub fn run<E, W: World<E>>(queue: &mut EventQueue<E>, world: &mut W, horizon: SimTime) -> (RunOutcome, SimTime) {
+pub fn run<E, W: World<E>>(
+    queue: &mut EventQueue<E>,
+    world: &mut W,
+    horizon: SimTime,
+) -> (RunOutcome, SimTime) {
     loop {
         match queue.peek_time() {
             None => return (RunOutcome::Drained, queue.now()),
@@ -240,11 +241,8 @@ mod tests {
     fn run_respects_horizon() {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_secs(10), ());
-        let (outcome, _) = run(
-            &mut q,
-            &mut |_: SimTime, _: (), _: &mut EventQueue<()>| true,
-            SimTime::from_secs(1),
-        );
+        let (outcome, _) =
+            run(&mut q, &mut |_: SimTime, _: (), _: &mut EventQueue<()>| true, SimTime::from_secs(1));
         assert_eq!(outcome, RunOutcome::HorizonReached);
         assert_eq!(q.len(), 1, "pending event stays queued");
     }

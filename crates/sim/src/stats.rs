@@ -47,12 +47,20 @@ impl Summary {
 
     /// Arithmetic mean (0 if empty).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.mean }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population variance (0 if fewer than 2 observations).
     pub fn variance(&self) -> f64 {
-        if self.count < 2 { 0.0 } else { self.m2 / self.count as f64 }
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
     }
 
     /// Population standard deviation.
@@ -166,7 +174,11 @@ impl Histogram {
 
     /// Mean of recorded values (0 if empty).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.sum / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
     }
 
     /// The value at quantile `q` ∈ [0, 1] (upper bucket bound; `None` if
@@ -417,7 +429,7 @@ mod tests {
         tw.set(0.0, 0.0);
         tw.set(1.0, 4.0); // value 0 for [0,1)
         tw.set(3.0, 2.0); // value 4 for [1,3)
-        // value 2 for [3,5]
+                          // value 2 for [3,5]
         let m = tw.mean_until(5.0);
         // (0*1 + 4*2 + 2*2) / 5 = 12/5
         assert!((m - 2.4).abs() < 1e-12);

@@ -152,13 +152,7 @@ impl Hierarchy {
         };
         self.segments.insert(
             id,
-            Segment {
-                size,
-                density,
-                tier,
-                temperature: Temperature::new(self.half_life_s),
-                accesses: 0,
-            },
+            Segment { size, density, tier, temperature: Temperature::new(self.half_life_s), accesses: 0 },
         );
         id
     }
@@ -259,8 +253,8 @@ impl Hierarchy {
         let src = self.tiers.spec(migration.from);
         let dst = self.tiers.spec(migration.to);
         let time = src.access_time(seg.size) + dst.access_time(seg.size);
-        let profile = src.access_profile(migration.from, seg.size)
-            + dst.access_profile(migration.to, seg.size);
+        let profile =
+            src.access_profile(migration.from, seg.size) + dst.access_profile(migration.to, seg.size);
         (time, profile)
     }
 

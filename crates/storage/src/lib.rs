@@ -42,9 +42,7 @@ pub mod tier;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::buffer::{BlockId, BufferOutcome, BufferPool};
-    pub use crate::hierarchy::{
-        AccessOutcome, Hierarchy, Migration, PlacementPolicy, Segment, SegmentId,
-    };
+    pub use crate::hierarchy::{AccessOutcome, Hierarchy, Migration, PlacementPolicy, Segment, SegmentId};
     pub use crate::temperature::{AccessKind, DensityClass, Temperature};
     pub use crate::tier::{StorageTier, TierSpec, TierTable};
 }

@@ -16,7 +16,7 @@ use std::time::Duration;
 pub enum StorageTier {
     /// DRAM: the primary data home of the in-memory DBMS.
     Dram,
-    /// Persistent memory (storage-class memory, paper ref [19]).
+    /// Persistent memory (storage-class memory, paper ref \[19\]).
     Nvm,
     /// Flash SSD.
     Ssd,
@@ -129,11 +129,9 @@ impl TierSpec {
                 dram_read: bytes, // metered on the memory bus
                 ..ResourceProfile::default()
             },
-            StorageTier::Ssd | StorageTier::Disk => ResourceProfile {
-                disk_read: bytes,
-                disk_seeks: 1,
-                ..ResourceProfile::default()
-            },
+            StorageTier::Ssd | StorageTier::Disk => {
+                ResourceProfile { disk_read: bytes, disk_seeks: 1, ..ResourceProfile::default() }
+            }
         }
     }
 }
@@ -181,8 +179,7 @@ mod tests {
     #[test]
     fn latency_strictly_increases_down_the_hierarchy() {
         let t = TierTable::default_2013();
-        let lats: Vec<Duration> =
-            StorageTier::ALL.iter().map(|&tier| t.spec(tier).access_latency).collect();
+        let lats: Vec<Duration> = StorageTier::ALL.iter().map(|&tier| t.spec(tier).access_latency).collect();
         assert!(lats.windows(2).all(|w| w[0] < w[1]), "{lats:?}");
     }
 

@@ -7,11 +7,11 @@
 //! The paper touches transactions in three places, each mapped to a
 //! module here:
 //!
-//! * §III "enhanced synchronization methods" + [18] → [`mvcc`]:
+//! * §III "enhanced synchronization methods" + \[18\] → [`mvcc`]:
 //!   multi-version storage with snapshot isolation, serializable OCC
 //!   (the software analogue of TSX-style optimism), and a no-wait 2PL
 //!   baseline — experiment E10 charts their contention behaviour.
-//! * §III "multi-level reliability" + [19] → [`log`]: REDO logging with
+//! * §III "multi-level reliability" + \[19\] → [`log`]: REDO logging with
 //!   per-flush [`log::ReliabilityLevel`] QoS (volatile / local /
 //!   replicated-k) and modelled latency/energy — experiment E15.
 //! * §IV.A "database conversations" → [`conversation`]: long-lived

@@ -178,10 +178,7 @@ impl RedoLog {
             ReliabilityLevel::Local => {
                 let t = self.model.local_latency
                     + Duration::from_secs_f64(bytes as f64 / self.model.local_bandwidth);
-                let p = ResourceProfile {
-                    dram_written: bytes_ct,
-                    ..ResourceProfile::default()
-                };
+                let p = ResourceProfile { dram_written: bytes_ct, ..ResourceProfile::default() };
                 (t, p)
             }
             ReliabilityLevel::Replicated(k) => {

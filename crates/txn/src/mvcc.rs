@@ -214,11 +214,7 @@ impl TxnManager {
     pub fn read_at(&self, key: Key, ts: Timestamp) -> Option<(RowValue, Timestamp)> {
         let map = self.versions.read();
         let chain = map.get(&key)?;
-        chain
-            .iter()
-            .rev()
-            .find(|v| v.begin <= ts && ts < v.end)
-            .map(|v| (v.value, v.begin))
+        chain.iter().rev().find(|v| v.begin <= ts && ts < v.end).map(|v| (v.value, v.begin))
     }
 
     /// The latest committed value of `key`.

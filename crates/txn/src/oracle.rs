@@ -78,9 +78,7 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..4 {
             let o = Arc::clone(&o);
-            handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| o.next().0).collect::<Vec<_>>()
-            }));
+            handles.push(std::thread::spawn(move || (0..1000).map(|_| o.next().0).collect::<Vec<_>>()));
         }
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         let n = all.len();

@@ -50,7 +50,11 @@ fn main() {
     );
     println!(
         "\nnode count over the day (one char per step): {}",
-        elastic.nodes_per_step.iter().map(|&n| char::from_digit(n as u32, 10).unwrap_or('+')).collect::<String>()
+        elastic
+            .nodes_per_step
+            .iter()
+            .map(|&n| char::from_digit(n as u32, 10).unwrap_or('+'))
+            .collect::<String>()
     );
     println!(
         "\nelastic saves {:.0}% of the peak-static energy bill with zero SLA violations.",

@@ -13,10 +13,7 @@ fn main() {
     let codec = CompressorSpec::lightweight(4.0);
 
     println!("shipping {payload} of intermediates (lightweight codec, 4x):\n");
-    println!(
-        "  {:<12} {:>14} {:>14} {:>10} {:>10}",
-        "link", "raw", "compressed", "min-time", "min-energy"
-    );
+    println!("  {:<12} {:>14} {:>14} {:>10} {:>10}", "link", "raw", "compressed", "min-time", "min-energy");
     for (name, class) in [
         ("intra-board", LinkClass::IntraBoard),
         ("optical", LinkClass::Optical),

@@ -24,12 +24,7 @@ fn main() {
     planning.put(1, 250); // what if we restock heavily?
     planning.put(3, 0); // and discontinue sku3?
     let planning_view = planning.get(&db, 1);
-    println!(
-        "\n[{}] sees sku1={:?} (main still {:?})",
-        planning.name(),
-        planning_view,
-        db.read_latest(1)
-    );
+    println!("\n[{}] sees sku1={:?} (main still {:?})", planning.name(), planning_view, db.read_latest(1));
 
     // Meanwhile production keeps moving: sku2 sells out.
     let mut sale = db.begin();
@@ -47,10 +42,7 @@ fn main() {
 
     // Merge outcomes under the three policies.
     let report = planning.merge(&db, MergePolicy::Abort).expect("no conflicts on sku1/sku3");
-    println!(
-        "\n[q3-planning] merged cleanly: {} keys applied at {:?}",
-        report.applied, report.commit_ts
-    );
+    println!("\n[q3-planning] merged cleanly: {} keys applied at {:?}", report.applied, report.commit_ts);
 
     match risky.merge(&db, MergePolicy::Abort) {
         Err(e) => println!("[risky-promo] abort policy refused: {e}"),

@@ -61,7 +61,12 @@ fn main() -> DbResult<()> {
     let meter = db.meter();
     println!("\ncumulative energy by domain:");
     for domain in haec_energy::meter::Domain::ALL {
-        println!("  {:8} {:>12.6} J (RAPL reg: {:#x})", domain.to_string(), meter.total(domain).joules(), meter.rapl_read(domain));
+        println!(
+            "  {:8} {:>12.6} J (RAPL reg: {:#x})",
+            domain.to_string(),
+            meter.total(domain).joules(),
+            meter.rapl_read(domain)
+        );
     }
     Ok(())
 }

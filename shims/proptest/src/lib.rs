@@ -422,7 +422,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// A size specification for [`vec`]: a fixed count or a range.
+    /// A size specification for [`vec()`]: a fixed count or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -10,11 +10,8 @@ fn load_orders(db: &mut Database, rows: i64) {
     )
     .unwrap();
     for i in 0..rows {
-        db.insert(
-            "orders",
-            &Record::new().with("id", i).with("region", i % 5).with("amount", (i * 7) % 100),
-        )
-        .unwrap();
+        db.insert("orders", &Record::new().with("id", i).with("region", i % 5).with("amount", (i * 7) % 100))
+            .unwrap();
     }
 }
 
@@ -23,7 +20,8 @@ fn query_answers_match_a_reference_computation() {
     let mut db = Database::new();
     load_orders(&mut db, 10_000);
     // Reference computation in plain Rust.
-    let expected: i64 = (0..10_000i64).filter(|i| i % 5 == 2 && (i * 7) % 100 >= 50).map(|i| (i * 7) % 100).sum();
+    let expected: i64 =
+        (0..10_000i64).filter(|i| i % 5 == 2 && (i * 7) % 100 >= 50).map(|i| (i * 7) % 100).sum();
     let out = db
         .execute(
             &Query::scan("orders")
@@ -48,7 +46,10 @@ fn energy_meter_grows_with_work_and_reports_rapl() {
     let small = db
         .execute(&Query::scan("orders").filter("id", CmpOp::Lt, 100).aggregate(AggKind::Sum, "amount"))
         .unwrap();
-    assert!(r1.energy.joules() > small.energy.joules() * 0.5, "full scan should not be cheaper than a tiny one");
+    assert!(
+        r1.energy.joules() > small.energy.joules() * 0.5,
+        "full scan should not be cheaper than a tiny one"
+    );
     // RAPL registers move monotonically modulo wrap.
     let pkg = db.meter().rapl_read(haec_energy::meter::Domain::Package);
     db.execute(&Query::scan("orders").aggregate(AggKind::Max, "amount")).unwrap();
@@ -105,9 +106,7 @@ fn flexible_schema_interoperates_with_queries_and_indexes() {
     assert_eq!(db.table("events").unwrap().schema().evolved_columns(), 2);
     // Nulls materialize as sentinel 0 for aggregation (documented
     // behaviour) — count survives.
-    let out = db
-        .execute(&Query::scan("events").group_by("user").aggregate(AggKind::Count, "user"))
-        .unwrap();
+    let out = db.execute(&Query::scan("events").group_by("user").aggregate(AggKind::Count, "user")).unwrap();
     assert_eq!(out.rows.rows(), 50);
     // Null accounting is available from the table.
     assert_eq!(db.table("events").unwrap().null_count("clicks"), Some(1_000 - 334));
