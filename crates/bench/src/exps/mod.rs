@@ -19,6 +19,7 @@ pub mod e14_robustness;
 pub mod e15_reliability;
 pub mod e16_compression;
 pub mod e17_delta_merge;
+pub mod e18_agg_pushdown;
 
 use crate::report::Report;
 
@@ -45,6 +46,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e15", e15_reliability::run),
         ("e16", e16_compression::run),
         ("e17", e17_delta_merge::run),
+        ("e18", e18_agg_pushdown::run),
         ("a01", a01_ablations::run),
     ]
 }

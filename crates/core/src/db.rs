@@ -12,9 +12,16 @@
 //! compressed data ([`haec_columnar::encoding::EncodedInts::scan`] — no
 //! decode), the flat delta tail uses the vectorized selection kernels,
 //! and segments are dispatched as morsels across real threads for large
-//! tables. Scanning encoded bytes instead of raw rows is the paper's
-//! "energy efficiency by data reduction" made concrete: less DRAM
-//! traffic per answered query.
+//! tables. Aggregation pushes down the same way: each segment folds a
+//! partial [`AggState`] straight from its encoded columns via streaming
+//! decode ([`haec_columnar::encoding::EncodedInts::iter`] — no
+//! full-column materialization), zone maps answer MIN/MAX and COUNT for
+//! fully-surviving segments without touching a single column byte, and
+//! partials merge with [`AggState::merge`]. Scanning (and folding)
+//! encoded bytes instead of raw rows is the paper's "energy efficiency
+//! by data reduction" made concrete: less DRAM traffic per answered
+//! query — and every path, including the decode itself, is billed to the
+//! meter.
 
 use crate::error::{DbError, DbResult};
 use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
@@ -24,13 +31,15 @@ use crate::table::Table;
 use haec_columnar::bitmap::Bitmap;
 use haec_columnar::chunk::Chunk;
 use haec_columnar::column::Column;
+use haec_columnar::dict::DictColumn;
+use haec_columnar::encoding::{EncodedInts, EncodedIter};
 use haec_columnar::value::{CmpOp, DataType, Value};
 use haec_energy::calibrate::{Kernel, KernelCosts};
 use haec_energy::machine::MachineSpec;
 use haec_energy::meter::EnergyMeter;
 use haec_energy::profile::{CostEstimator, ExecutionContext, ResourceProfile};
 use haec_energy::units::{ByteCount, Joules};
-use haec_exec::agg::{group_aggregate, AggKind, AggState};
+use haec_exec::agg::{aggregate, AggKind, AggState};
 use haec_exec::morsel::parallel_morsels;
 use haec_exec::select::{select_metered, SelectKernel};
 use haec_planner::access::{choose_access_segmented, AccessPath};
@@ -116,7 +125,9 @@ impl Query {
         self
     }
 
-    /// Groups by an integer column.
+    /// Groups by an integer or string column (string keys group on
+    /// dictionary codes; the strings are decoded once per group for the
+    /// output).
     pub fn group_by(mut self, column: impl Into<String>) -> Self {
         self.group_by = Some(column.into());
         self
@@ -161,6 +172,10 @@ pub struct QueryResult {
     pub wall_time: Duration,
     /// The access path taken for the first indexable predicate.
     pub access_path: Option<AccessPath>,
+    /// The resource profile the energy charge was computed from (decode
+    /// cycles, DRAM traffic, …) — lets callers verify *what* was billed,
+    /// e.g. that a zone-answered MIN touched zero column bytes.
+    pub profile: ResourceProfile,
 }
 
 /// An integer predicate resolved to a column index.
@@ -181,6 +196,135 @@ struct StrPred {
     global_code: Option<i64>,
     delta_code: Option<u32>,
     negated: bool,
+}
+
+/// Key reserved for the sentinel `""` of string-group rows in segments
+/// that predate the column, when neither dictionary has interned `""`.
+const SENTINEL_STR_KEY: i64 = -1;
+
+/// A group-by column resolved for segment-wise aggregation.
+enum GroupCol {
+    /// An integer key column.
+    Int(usize),
+    /// A string key column, grouped on dictionary codes (never on the
+    /// strings themselves). Keys live in a unified space: codes of the
+    /// table-global dictionary first, then delta-local codes the global
+    /// dictionary has not seen, shifted by `global_len`.
+    Str {
+        /// Column index.
+        col: usize,
+        /// Delta-local code → unified key.
+        delta_remap: Vec<i64>,
+        /// Unified key of the sentinel `""` (for segments predating the
+        /// column).
+        sentinel_key: i64,
+        /// Size of the table-global dictionary (the shift).
+        global_len: usize,
+    },
+}
+
+/// What to compute per execution unit (segment or delta chunk).
+#[derive(Clone, Copy)]
+struct AggSpec<'a> {
+    kind: AggKind,
+    /// Value column index (validated `Int64`).
+    vidx: usize,
+    group: Option<&'a GroupCol>,
+}
+
+/// A partial aggregate from one execution unit, merged across units with
+/// [`AggState::merge`] (commutative, so parallel completion order does
+/// not matter).
+#[derive(Clone)]
+enum AggAcc {
+    Global(AggState),
+    Grouped(HashMap<i64, AggState>),
+}
+
+impl AggAcc {
+    fn identity(grouped: bool) -> AggAcc {
+        if grouped {
+            AggAcc::Grouped(HashMap::new())
+        } else {
+            AggAcc::Global(AggState::empty())
+        }
+    }
+
+    fn merge(&mut self, other: AggAcc) {
+        match (self, other) {
+            (AggAcc::Global(a), AggAcc::Global(b)) => a.merge(&b),
+            (AggAcc::Grouped(a), AggAcc::Grouped(b)) => {
+                for (k, s) in b {
+                    a.entry(k).or_default().merge(&s);
+                }
+            }
+            _ => unreachable!("all units of one query share the group shape"),
+        }
+    }
+}
+
+/// A segment column as an aggregation input: encoded data, or a constant
+/// (the sentinel of a column this segment predates, or a skipped value
+/// read for COUNT).
+#[derive(Clone, Copy)]
+enum SegSource<'a> {
+    Enc(&'a EncodedInts),
+    Const(i64),
+}
+
+impl<'a> SegSource<'a> {
+    fn iter(&self, rows: usize) -> SegIter<'a> {
+        match self {
+            SegSource::Enc(e) => SegIter::Enc(e.iter()),
+            SegSource::Const(v) => SegIter::Const { v: *v, left: rows },
+        }
+    }
+
+    fn get(&self, i: usize) -> i64 {
+        match self {
+            SegSource::Enc(e) => e.get(i),
+            SegSource::Const(v) => *v,
+        }
+    }
+
+    /// Decode work per inspected item (constants cost nothing).
+    fn decode_items(&self, items: usize) -> u64 {
+        match self {
+            SegSource::Enc(_) => items as u64,
+            SegSource::Const(_) => 0,
+        }
+    }
+
+    /// DRAM bytes for streaming `streamed` of `rows` rows.
+    fn stream_bytes(&self, streamed: usize, rows: usize) -> u64 {
+        match self {
+            SegSource::Enc(e) => (e.size_bytes() * streamed / rows.max(1)) as u64,
+            SegSource::Const(_) => 0,
+        }
+    }
+}
+
+/// Streaming view of a [`SegSource`].
+enum SegIter<'a> {
+    Enc(EncodedIter<'a>),
+    Const { v: i64, left: usize },
+}
+
+impl Iterator for SegIter<'_> {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        match self {
+            SegIter::Enc(it) => it.next(),
+            SegIter::Const { v, left } => {
+                if *left == 0 {
+                    return None;
+                }
+                *left -= 1;
+                Some(*v)
+            }
+        }
+    }
 }
 
 /// The in-memory, energy-metered database.
@@ -301,10 +445,20 @@ impl Database {
                 }
             }
         }
-        // Charge ingestion: one materialize per field.
+        // Charge ingestion: one materialize per field, billing the bytes
+        // each field actually writes (a string is its payload plus a
+        // 4-byte dictionary code, not an 8-byte cell).
+        let payload: u64 = record
+            .iter()
+            .map(|(_, v)| match v {
+                Value::Int(_) | Value::Float(_) => 8,
+                Value::Str(s) => 4 + s.len() as u64,
+                Value::Null => 1, // validity bit, rounded up
+            })
+            .sum();
         let profile = ResourceProfile {
             cpu_cycles: self.costs.cycles_for(Kernel::Materialize, record.len() as u64),
-            dram_written: ByteCount::new(record.len() as u64 * 8),
+            dram_written: ByteCount::new(payload),
             ..ResourceProfile::default()
         };
         self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
@@ -370,6 +524,17 @@ impl Database {
         for (row, &key) in data.iter().enumerate() {
             idx.on_insert(key, row as u32);
         }
+        // The backfill is real work: decode the compressed main, read the
+        // flat delta, and build the hash table — all billed to the meter.
+        let rows = data.len() as u64;
+        let profile = ResourceProfile {
+            cpu_cycles: self.costs.cycles_for(Kernel::CompressDecode, t.main_rows() as u64)
+                + self.costs.cycles_for(Kernel::HashBuild, rows),
+            dram_read: ByteCount::new(t.column_encoded_bytes(column).unwrap_or(0) as u64),
+            dram_written: ByteCount::new(rows * 12), // key + row id per entry
+            ..ResourceProfile::default()
+        };
+        self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
         self.indexes.insert((table.to_string(), column.to_string()), idx);
         Ok(())
     }
@@ -497,42 +662,49 @@ impl Database {
                 chunk
             }
             (group, Some((kind, value_col))) => {
-                check_int_column(t, &query.table, value_col)?;
-                let gathered_values =
-                    t.gather_ints(value_col, positions.as_deref()).expect("validated int column");
-                profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, gathered_values.len() as u64);
-                profile.dram_read += ByteCount::new(gathered_values.len() as u64 * 8);
-                match group {
-                    None => {
-                        let mut st = AggState::empty();
-                        for &v in &gathered_values {
-                            st.update(v);
-                        }
+                let vidx = check_int_column(t, &query.table, value_col)?;
+                let gcol = match group {
+                    Some(name) => Some(resolve_group_col(t, &query.table, name)?),
+                    None => None,
+                };
+                let spec = AggSpec { kind: *kind, vidx, group: gcol.as_ref() };
+                let (acc, agg_profile) = self.aggregate_segmented(t, spec, positions.as_deref());
+                profile += agg_profile;
+                let agg_name = format!("{kind}({value_col})");
+                match (acc, &gcol) {
+                    (AggAcc::Global(st), _) => {
                         let result = st.value(*kind).unwrap_or(f64::NAN);
-                        Chunk::new(vec![(
-                            format!("{kind}({value_col})"),
-                            vec![result].into_iter().collect::<Column>(),
-                        )])
-                        .expect("one column")
+                        Chunk::new(vec![(agg_name, vec![result].into_iter().collect::<Column>())])
+                            .expect("one column")
                     }
-                    Some(gcol) => {
-                        check_int_column(t, &query.table, gcol)?;
-                        let gathered_keys =
-                            t.gather_ints(gcol, positions.as_deref()).expect("validated int column");
-                        profile.cpu_cycles +=
-                            self.costs.cycles_for(Kernel::HashProbe, gathered_keys.len() as u64);
-                        let grouped = group_aggregate(&gathered_keys, &gathered_values);
+                    (AggAcc::Grouped(map), Some(GroupCol::Int(_))) => {
+                        let mut grouped: Vec<(i64, AggState)> = map.into_iter().collect();
+                        grouped.sort_unstable_by_key(|&(k, _)| k);
                         let key_col: Column =
                             grouped.iter().map(|&(k, _)| k).collect::<Vec<i64>>().into_iter().collect();
-                        let val_col: Column = grouped
-                            .iter()
-                            .map(|(_, s)| s.value(*kind).unwrap_or(f64::NAN))
-                            .collect::<Vec<f64>>()
+                        let val_col = agg_value_column(&grouped, *kind);
+                        let gname = group.clone().expect("grouped result implies group column");
+                        Chunk::new(vec![(gname, key_col), (agg_name, val_col)]).expect("two columns")
+                    }
+                    (AggAcc::Grouped(map), Some(GroupCol::Str { col, global_len, .. })) => {
+                        // Keys are dictionary codes; decode once per
+                        // *group* (not per row) and sort by string so the
+                        // output order is independent of code assignment.
+                        let mut grouped: Vec<(String, AggState)> = map
                             .into_iter()
+                            .map(|(k, s)| (decode_group_key(t, *col, *global_len, k), s))
                             .collect();
-                        Chunk::new(vec![(gcol.clone(), key_col), (format!("{kind}({value_col})"), val_col)])
+                        grouped.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                        let mut keys = DictColumn::new();
+                        for (k, _) in &grouped {
+                            keys.push(k);
+                        }
+                        let val_col = agg_value_column(&grouped, *kind);
+                        let gname = group.clone().expect("grouped result implies group column");
+                        Chunk::new(vec![(gname, Column::Str(keys)), (agg_name, val_col)])
                             .expect("two columns")
                     }
+                    (AggAcc::Grouped(_), None) => unreachable!("grouped result without group column"),
                 }
             }
         };
@@ -547,6 +719,7 @@ impl Database {
             modeled_time: est.time,
             wall_time: started.elapsed(),
             access_path,
+            profile,
         })
     }
 
@@ -569,17 +742,35 @@ impl Database {
         str_preds: &[StrPred],
     ) -> (Vec<u32>, ResourceProfile) {
         let nsegs = t.segments().len();
-        let delta_units = t.delta_rows().div_ceil(crate::segment::SEGMENT_ROWS);
-        let units = nsegs + delta_units;
-        let eval = |u: usize| -> (Vec<u32>, ResourceProfile) {
+        let parts = self.eval_units(t, |u| {
             if u < nsegs {
                 self.eval_segment(t, u, int_preds, str_preds)
             } else {
-                let start = (u - nsegs) * crate::segment::SEGMENT_ROWS;
-                let end = (start + crate::segment::SEGMENT_ROWS).min(t.delta_rows());
+                let (start, end) = delta_chunk(t, u - nsegs);
                 self.eval_delta(t, start, end, int_preds, str_preds)
             }
-        };
+        });
+        let mut pos = Vec::new();
+        let mut profile = ResourceProfile::default();
+        for (p, pr) in parts {
+            pos.extend(p);
+            profile += pr;
+        }
+        (pos, profile)
+    }
+
+    /// Runs `eval` over every execution unit of `t` — one per main
+    /// segment plus one per [`crate::segment::SEGMENT_ROWS`]-sized delta
+    /// chunk (see [`delta_chunk`]) — and returns the per-unit results in
+    /// unit order. Above [`PARALLEL_SCAN_ROWS`] total rows, units are
+    /// dispatched as one-unit morsels over real threads. Both the scan
+    /// and the aggregation pushdown go through here, so they can never
+    /// disagree on parallel granularity.
+    fn eval_units<R>(&self, t: &Table, eval: impl Fn(usize) -> R + Sync) -> Vec<R>
+    where
+        R: Send + Clone,
+    {
+        let units = t.segments().len() + t.delta_rows().div_ceil(crate::segment::SEGMENT_ROWS);
         if t.rows() >= PARALLEL_SCAN_ROWS && units > 1 {
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -589,31 +780,18 @@ impl Database {
             let mut parts = parallel_morsels(
                 units,
                 threads,
-                1, // one morsel = one segment (or the delta)
+                1, // one morsel = one segment (or delta chunk)
                 |m| (m.start..m.end).map(|u| (u, eval(u))).collect::<Vec<_>>(),
-                |mut a: Vec<(usize, (Vec<u32>, ResourceProfile))>, b| {
+                |mut a: Vec<(usize, R)>, b| {
                     a.extend(b);
                     a
                 },
                 Vec::new(),
             );
             parts.sort_unstable_by_key(|&(u, _)| u);
-            let mut pos = Vec::new();
-            let mut profile = ResourceProfile::default();
-            for (_, (p, pr)) in parts {
-                pos.extend(p);
-                profile += pr;
-            }
-            (pos, profile)
+            parts.into_iter().map(|(_, r)| r).collect()
         } else {
-            let mut pos = Vec::new();
-            let mut profile = ResourceProfile::default();
-            for u in 0..units {
-                let (p, pr) = eval(u);
-                pos.extend(p);
-                profile += pr;
-            }
-            (pos, profile)
+            (0..units).map(eval).collect()
         }
     }
 
@@ -731,8 +909,12 @@ impl Database {
                 .and_then(Column::as_str)
                 .expect("predicate validated as string column")
                 .codes()[start..end];
-            profile.cpu_cycles += self.costs.cycles_for(Kernel::SelectBitwise, codes.len() as u64);
-            profile.dram_read += ByteCount::new(codes.len() as u64 * 4);
+            // Bill the rows actually *inspected*: the full chunk only for
+            // the first predicate; afterwards just the surviving
+            // positions that are re-checked.
+            let inspected = positions.as_ref().map_or(codes.len(), Vec::len) as u64;
+            profile.cpu_cycles += self.costs.cycles_for(Kernel::SelectBitwise, inspected);
+            profile.dram_read += ByteCount::new(inspected * 4);
             let keep = |row: usize| -> bool {
                 match p.delta_code {
                     Some(c) => (codes[row] == c) != p.negated,
@@ -750,6 +932,307 @@ impl Database {
         let pos = positions.unwrap_or_else(|| (0..rows as u32).collect());
         (pos.into_iter().map(|p| p + base as u32).collect(), profile)
     }
+
+    /// Segment-wise aggregation pushdown: every main segment folds a
+    /// partial [`AggState`] (or per-group hash of states) directly from
+    /// its encoded columns via streaming decode — no full-column
+    /// materialization — the delta tail folds flat, and partials merge
+    /// with [`AggState::merge`]. Units dispatch over the same morsel
+    /// machinery as [`Database::scan_segmented`], so large aggregates
+    /// parallelize.
+    ///
+    /// Fast paths answer whole segments from metadata when every row of
+    /// the segment survives the filters: COUNT from the row count,
+    /// MIN/MAX from the zone map — zero column bytes touched. All other
+    /// paths bill decode cycles plus the encoded bytes actually read.
+    fn aggregate_segmented(
+        &self,
+        t: &Table,
+        spec: AggSpec<'_>,
+        positions: Option<&[u32]>,
+    ) -> (AggAcc, ResourceProfile) {
+        let nsegs = t.segments().len();
+        let units = nsegs + t.delta_rows().div_ceil(crate::segment::SEGMENT_ROWS);
+        // Split the ascending global position list into per-unit slices.
+        let unit_hits: Option<Vec<&[u32]>> = positions.map(|pos| {
+            let mut out = Vec::with_capacity(units);
+            let mut i = 0;
+            for u in 0..units {
+                let end_row = if u < nsegs {
+                    t.segment_base(u) + t.segments()[u].rows()
+                } else {
+                    t.main_rows() + delta_chunk(t, u - nsegs).1
+                };
+                let from = i;
+                while i < pos.len() && (pos[i] as usize) < end_row {
+                    i += 1;
+                }
+                out.push(&pos[from..i]);
+            }
+            out
+        });
+        let parts = self.eval_units(t, |u| {
+            let hits = unit_hits.as_ref().map(|v| v[u]);
+            if hits.is_some_and(<[u32]>::is_empty) {
+                return (AggAcc::identity(spec.group.is_some()), ResourceProfile::default());
+            }
+            if u < nsegs {
+                self.agg_segment(t, u, spec, hits)
+            } else {
+                let (start, end) = delta_chunk(t, u - nsegs);
+                self.agg_delta(t, start, end, spec, hits)
+            }
+        });
+        let mut acc = AggAcc::identity(spec.group.is_some());
+        let mut profile = ResourceProfile::default();
+        for (a, p) in parts {
+            acc.merge(a);
+            profile += p;
+        }
+        (acc, profile)
+    }
+
+    /// One main segment's partial aggregate, computed from the encoded
+    /// data (or from zone metadata when possible).
+    fn agg_segment(
+        &self,
+        t: &Table,
+        si: usize,
+        spec: AggSpec<'_>,
+        hits: Option<&[u32]>,
+    ) -> (AggAcc, ResourceProfile) {
+        let seg = &t.segments()[si];
+        let base = t.segment_base(si);
+        let rows = seg.rows();
+        let mut profile = ResourceProfile::default();
+        // A hit list covering every row of the segment is the tautology
+        // case: the filters kept the whole segment.
+        let full = hits.is_none_or(|h| h.len() == rows);
+        let vsrc = match seg.column(spec.vidx) {
+            Some(SegColumn::Int { data, .. }) => SegSource::Enc(data),
+            None => SegSource::Const(0), // segment predates the column
+            Some(_) => unreachable!("aggregate value validated as integer column"),
+        };
+        // COUNT never needs the values — only how many rows survive.
+        let vsrc = if spec.kind == AggKind::Count { SegSource::Const(0) } else { vsrc };
+        let Some(g) = spec.group else {
+            let mut st = AggState::empty();
+            if full {
+                match (spec.kind, vsrc, seg.zone(spec.vidx)) {
+                    // Sentinel column: `rows` copies of 0, no data exists.
+                    (_, SegSource::Const(v), _) if spec.kind != AggKind::Count => {
+                        st.update_repeated(v, rows);
+                    }
+                    // Zone-answered: zero column bytes touched.
+                    (AggKind::Count, _, _) => {
+                        st.count = rows as u64;
+                        profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
+                    }
+                    (AggKind::Min | AggKind::Max, _, Some((lo, hi))) => {
+                        st.count = rows as u64;
+                        st.min = lo;
+                        st.max = hi;
+                        profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
+                    }
+                    (_, SegSource::Enc(EncodedInts::Rle(r)), _) => {
+                        // SUM/AVG on RLE: one multiply per run.
+                        for run in r.runs() {
+                            st.update_repeated(run.value, run.len);
+                        }
+                        let items = r.runs().len() as u64;
+                        profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, items)
+                            + self.costs.cycles_for(Kernel::AggUpdate, items);
+                        profile.dram_read += ByteCount::new(vsrc.stream_bytes(rows, rows));
+                    }
+                    (_, SegSource::Enc(data), _) => {
+                        for v in data.iter() {
+                            st.update(v);
+                        }
+                        profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, rows as u64)
+                            + self.costs.cycles_for(Kernel::AggUpdate, rows as u64);
+                        profile.dram_read += ByteCount::new(vsrc.stream_bytes(rows, rows));
+                    }
+                    (_, SegSource::Const(_), _) => unreachable!("count handled above"),
+                }
+            } else {
+                let hits = hits.expect("not full implies a hit list");
+                if spec.kind == AggKind::Count {
+                    st.count = hits.len() as u64;
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
+                } else if hits.len() * 8 < rows {
+                    // Sparse survivors: compressed random access.
+                    for &p in hits {
+                        st.update(vsrc.get(p as usize - base));
+                    }
+                    let n = hits.len();
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, vsrc.decode_items(n))
+                        + self.costs.cycles_for(Kernel::AggUpdate, n as u64);
+                    profile.dram_read += ByteCount::new(vsrc.decode_items(n) * 8);
+                } else {
+                    // Dense survivors: stream-decode up to the last hit.
+                    let mut hi = 0;
+                    for (local, v) in vsrc.iter(rows).enumerate() {
+                        if hi == hits.len() {
+                            break;
+                        }
+                        if hits[hi] as usize - base == local {
+                            st.update(v);
+                            hi += 1;
+                        }
+                    }
+                    let streamed = hits.last().map_or(0, |&p| p as usize - base + 1);
+                    profile.cpu_cycles +=
+                        self.costs.cycles_for(Kernel::CompressDecode, vsrc.decode_items(streamed))
+                            + self.costs.cycles_for(Kernel::AggUpdate, hits.len() as u64);
+                    profile.dram_read += ByteCount::new(vsrc.stream_bytes(streamed, rows));
+                }
+            }
+            return (AggAcc::Global(st), profile);
+        };
+        // Grouped: stream keys and values together into per-group states.
+        let gsrc = match g {
+            GroupCol::Int(gidx) => match seg.column(*gidx) {
+                Some(SegColumn::Int { data, .. }) => SegSource::Enc(data),
+                None => SegSource::Const(0),
+                Some(_) => unreachable!("group key validated as integer column"),
+            },
+            GroupCol::Str { col, sentinel_key, .. } => match seg.column(*col) {
+                // Segment codes index the table-global dictionary, which
+                // is exactly the unified key space.
+                Some(SegColumn::Str { codes, .. }) => SegSource::Enc(codes),
+                None => SegSource::Const(*sentinel_key),
+                Some(_) => unreachable!("group key validated as string column"),
+            },
+        };
+        let mut map: HashMap<i64, AggState> = HashMap::new();
+        if full {
+            for (k, v) in gsrc.iter(rows).zip(vsrc.iter(rows)) {
+                map.entry(k).or_default().update(v);
+            }
+            let items = gsrc.decode_items(rows) + vsrc.decode_items(rows);
+            profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, items)
+                + self.costs.cycles_for(Kernel::AggUpdate, rows as u64)
+                + self.costs.cycles_for(Kernel::HashProbe, rows as u64);
+            profile.dram_read +=
+                ByteCount::new(gsrc.stream_bytes(rows, rows) + vsrc.stream_bytes(rows, rows));
+        } else {
+            let hits = hits.expect("not full implies a hit list");
+            let n = hits.len();
+            if n * 8 < rows {
+                for &p in hits {
+                    let local = p as usize - base;
+                    map.entry(gsrc.get(local)).or_default().update(vsrc.get(local));
+                }
+                let items = gsrc.decode_items(n) + vsrc.decode_items(n);
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, items)
+                    + self.costs.cycles_for(Kernel::AggUpdate, n as u64)
+                    + self.costs.cycles_for(Kernel::HashProbe, n as u64);
+                // Codes are 4-byte cells, int keys and values 8-byte.
+                let key_width = if matches!(g, GroupCol::Str { .. }) { 4 } else { 8 };
+                profile.dram_read +=
+                    ByteCount::new(gsrc.decode_items(n) * key_width + vsrc.decode_items(n) * 8);
+            } else {
+                let mut hi = 0;
+                for (local, (k, v)) in gsrc.iter(rows).zip(vsrc.iter(rows)).enumerate() {
+                    if hi == n {
+                        break;
+                    }
+                    if hits[hi] as usize - base == local {
+                        map.entry(k).or_default().update(v);
+                        hi += 1;
+                    }
+                }
+                let streamed = hits.last().map_or(0, |&p| p as usize - base + 1);
+                let items = gsrc.decode_items(streamed) + vsrc.decode_items(streamed);
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, items)
+                    + self.costs.cycles_for(Kernel::AggUpdate, n as u64)
+                    + self.costs.cycles_for(Kernel::HashProbe, n as u64);
+                profile.dram_read +=
+                    ByteCount::new(gsrc.stream_bytes(streamed, rows) + vsrc.stream_bytes(streamed, rows));
+            }
+        }
+        (AggAcc::Grouped(map), profile)
+    }
+
+    /// Partial aggregate over delta rows `[start, end)`: the flat tail
+    /// folds with the existing kernels (dense column slices, no decode).
+    fn agg_delta(
+        &self,
+        t: &Table,
+        start: usize,
+        end: usize,
+        spec: AggSpec<'_>,
+        hits: Option<&[u32]>,
+    ) -> (AggAcc, ResourceProfile) {
+        let base = t.main_rows();
+        let rows = end - start;
+        let mut profile = ResourceProfile::default();
+        let full = hits.is_none_or(|h| h.len() == rows);
+        let vals = t
+            .delta_column(spec.vidx)
+            .and_then(Column::as_int64)
+            .expect("aggregate value validated as integer column");
+        let Some(g) = spec.group else {
+            let st = if spec.kind == AggKind::Count {
+                // Counting needs no value reads.
+                let mut st = AggState::empty();
+                st.count = if full { rows } else { hits.expect("not full").len() } as u64;
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
+                st
+            } else if full {
+                let st = aggregate(&vals[start..end]);
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, rows as u64);
+                profile.dram_read += ByteCount::new(rows as u64 * 8);
+                st
+            } else {
+                let hits = hits.expect("not full implies a hit list");
+                let mut st = AggState::empty();
+                for &p in hits {
+                    st.update(vals[p as usize - base]);
+                }
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, hits.len() as u64);
+                profile.dram_read += ByteCount::new(hits.len() as u64 * 8);
+                st
+            };
+            return (AggAcc::Global(st), profile);
+        };
+        // Grouped delta fold. Key bytes: 8 per int key, 4 per code.
+        let (key_of, key_bytes): (Box<dyn Fn(usize) -> i64 + '_>, u64) = match g {
+            GroupCol::Int(gidx) => {
+                let keys = t
+                    .delta_column(*gidx)
+                    .and_then(Column::as_int64)
+                    .expect("group key validated as integer column");
+                (Box::new(move |local| keys[local]), 8)
+            }
+            GroupCol::Str { col, delta_remap, .. } => {
+                let codes = t
+                    .delta_column(*col)
+                    .and_then(Column::as_str)
+                    .expect("group key validated as string column")
+                    .codes();
+                (Box::new(move |local| delta_remap[codes[local] as usize]), 4)
+            }
+        };
+        let mut map: HashMap<i64, AggState> = HashMap::new();
+        let mut fold = |local: usize| {
+            let v = if spec.kind == AggKind::Count { 0 } else { vals[local] };
+            map.entry(key_of(local)).or_default().update(v);
+        };
+        let inspected = if full {
+            (start..end).for_each(&mut fold);
+            rows as u64
+        } else {
+            let hits = hits.expect("not full implies a hit list");
+            hits.iter().for_each(|&p| fold(p as usize - base));
+            hits.len() as u64
+        };
+        let value_bytes = if spec.kind == AggKind::Count { 0 } else { 8 };
+        profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, inspected)
+            + self.costs.cycles_for(Kernel::HashProbe, inspected);
+        profile.dram_read += ByteCount::new(inspected * (key_bytes + value_bytes));
+        (AggAcc::Grouped(map), profile)
+    }
 }
 
 impl Default for Database {
@@ -758,12 +1241,75 @@ impl Default for Database {
     }
 }
 
+/// Delta rows `[start, end)` of delta chunk `c` — the
+/// [`crate::segment::SEGMENT_ROWS`]-sized execution units an oversized
+/// (merge-disabled) delta is split into (see `Database::eval_units`).
+fn delta_chunk(t: &Table, c: usize) -> (usize, usize) {
+    let start = c * crate::segment::SEGMENT_ROWS;
+    (start, (start + crate::segment::SEGMENT_ROWS).min(t.delta_rows()))
+}
+
 /// ANDs `m` into the accumulator (first predicate just installs it).
 fn and_into(acc: &mut Option<Bitmap>, m: Bitmap) {
     match acc {
         None => *acc = Some(m),
         Some(b) => b.and_with(&m),
     }
+}
+
+/// The aggregate output column for sorted `(key, state)` pairs.
+fn agg_value_column<K>(grouped: &[(K, AggState)], kind: AggKind) -> Column {
+    grouped.iter().map(|(_, s)| s.value(kind).unwrap_or(f64::NAN)).collect::<Vec<f64>>().into_iter().collect()
+}
+
+/// Resolves a group-by column: integer columns group on values, string
+/// columns on dictionary codes (see [`GroupCol::Str`] for the unified
+/// key space spanning the global and delta-local dictionaries).
+fn resolve_group_col(t: &Table, table: &str, name: &str) -> DbResult<GroupCol> {
+    let idx = t
+        .schema()
+        .position(name)
+        .ok_or_else(|| DbError::NoSuchColumn { table: table.to_string(), column: name.to_string() })?;
+    match t.schema().columns()[idx].1 {
+        DataType::Int64 => Ok(GroupCol::Int(idx)),
+        DataType::Str => {
+            let global = t.global_dict(idx);
+            let global_len = global.map_or(0, DictColumn::dict_size);
+            let local = t.delta_column(idx).and_then(Column::as_str);
+            let delta_remap = local.map_or_else(Vec::new, |l| {
+                (0..l.dict_size())
+                    .map(|c| {
+                        let s = l.decode(c as u32).expect("local code in range");
+                        global.and_then(|g| g.code_of(s)).map_or(global_len as i64 + c as i64, i64::from)
+                    })
+                    .collect()
+            });
+            let sentinel_key = global
+                .and_then(|g| g.code_of(""))
+                .map(i64::from)
+                .or_else(|| local.and_then(|l| l.code_of("")).map(|c| global_len as i64 + i64::from(c)))
+                .unwrap_or(SENTINEL_STR_KEY);
+            Ok(GroupCol::Str { col: idx, delta_remap, sentinel_key, global_len })
+        }
+        DataType::Float64 => {
+            Err(DbError::TypeMismatch { column: name.to_string(), expected: DataType::Int64 })
+        }
+    }
+}
+
+/// Decodes a unified string-group key back to its string.
+fn decode_group_key(t: &Table, col: usize, global_len: usize, key: i64) -> String {
+    if key == SENTINEL_STR_KEY {
+        return String::new();
+    }
+    let s = if (key as usize) < global_len {
+        t.global_dict(col).and_then(|g| g.decode(key as u32))
+    } else {
+        t.delta_column(col)
+            .and_then(Column::as_str)
+            .and_then(|l| l.decode((key as usize - global_len) as u32))
+    };
+    s.expect("group key decodes through its dictionary").to_string()
 }
 
 fn check_int_column(t: &Table, table: &str, name: &str) -> DbResult<usize> {
@@ -944,16 +1490,25 @@ mod tests {
             }
         }
         assert_eq!(seg_db.table("orders").unwrap().segments().len(), 4);
+        // SUM must stream the surviving values, so pruning 3 of 4
+        // segments shows up directly in the energy bill.
         let narrow = seg_db
-            .execute(&Query::scan("orders").filter("id", CmpOp::Lt, 100).aggregate(AggKind::Count, "id"))
+            .execute(&Query::scan("orders").filter("id", CmpOp::Lt, 100).aggregate(AggKind::Sum, "id"))
             .unwrap();
         let broad = seg_db
+            .execute(&Query::scan("orders").filter("id", CmpOp::Ge, 0).aggregate(AggKind::Sum, "id"))
+            .unwrap();
+        assert_eq!(narrow.rows.row(0).unwrap()[0].as_float(), Some(4950.0));
+        assert_eq!(broad.rows.row(0).unwrap()[0].as_float(), Some(499_500.0));
+        // The narrow query prunes 3 of 4 segments AND folds fewer rows.
+        assert!(narrow.energy.joules() < broad.energy.joules());
+        // COUNT under a tautological predicate is answered from segment
+        // row counts without touching any column bytes at all.
+        let count = seg_db
             .execute(&Query::scan("orders").filter("id", CmpOp::Ge, 0).aggregate(AggKind::Count, "id"))
             .unwrap();
-        assert_eq!(narrow.rows.row(0).unwrap()[0].as_float(), Some(100.0));
-        assert_eq!(broad.rows.row(0).unwrap()[0].as_float(), Some(1000.0));
-        // The narrow query prunes 3 of 4 segments AND gathers fewer rows.
-        assert!(narrow.energy.joules() < broad.energy.joules());
+        assert_eq!(count.rows.row(0).unwrap()[0].as_float(), Some(1000.0));
+        assert!(count.energy.joules() < narrow.energy.joules());
     }
 
     #[test]
@@ -1143,6 +1698,114 @@ mod tests {
             b.energy.joules(),
             a.energy.joules()
         );
+    }
+
+    #[test]
+    fn segment_aggregation_is_metered_and_zone_answered() {
+        let mut db = sample_db(10_000);
+        db.merge("orders").unwrap();
+        // Pushed-down SUM streams the encoded column: nonzero decode
+        // cycles and encoded-byte DRAM traffic must be billed…
+        let sum = db.execute(&Query::scan("orders").aggregate(AggKind::Sum, "amount")).unwrap();
+        let want: f64 = (0..10_000).map(|i| (i * 3) as f64).sum();
+        assert_eq!(sum.rows.row(0).unwrap()[0].as_float(), Some(want));
+        assert!(sum.profile.dram_read.bytes() > 0, "segment aggregation must bill DRAM traffic");
+        assert!(sum.profile.cpu_cycles.count() > 0, "segment aggregation must bill decode cycles");
+        // …but only the *encoded* bytes, never the flat 8 B/row the
+        // gather path used to bill (amount = 3·i delta-encodes tightly).
+        assert!(sum.profile.dram_read.bytes() < 10_000 * 8);
+        // MIN/MAX over tautological segments answer from zone maps:
+        // zero column bytes touched.
+        for kind in [AggKind::Min, AggKind::Max, AggKind::Count] {
+            let out = db.execute(&Query::scan("orders").aggregate(kind, "amount")).unwrap();
+            assert_eq!(out.profile.dram_read.bytes(), 0, "{kind} should be zone-answered");
+            assert!(out.energy.joules() < sum.energy.joules(), "{kind} must beat the streaming SUM");
+        }
+        let max = db.execute(&Query::scan("orders").aggregate(AggKind::Max, "amount")).unwrap();
+        assert_eq!(max.rows.row(0).unwrap()[0].as_float(), Some(9_999.0 * 3.0));
+    }
+
+    #[test]
+    fn grouped_pushdown_parallel_matches_serial() {
+        // Above PARALLEL_SCAN_ROWS the aggregation dispatches segments as
+        // morsels; answers must equal the small/serial reference shape.
+        let rows = (super::PARALLEL_SCAN_ROWS + 5_000) as i64;
+        let mut db = Database::new();
+        db.create_table("big", &[("g", DataType::Int64), ("v", DataType::Int64)]).unwrap();
+        for i in 0..rows {
+            db.insert("big", &Record::new().with("g", i % 7).with("v", i % 100)).unwrap();
+        }
+        assert!(db.table("big").unwrap().segments().len() > 1);
+        let out = db
+            .execute(
+                &Query::scan("big").filter("v", CmpOp::Lt, 50).group_by("g").aggregate(AggKind::Sum, "v"),
+            )
+            .unwrap();
+        assert_eq!(out.rows.rows(), 7);
+        for r in 0..7 {
+            let g = out.rows.row(r).unwrap()[0].as_int().unwrap();
+            let want: i64 = (0..rows).filter(|i| i % 7 == g && i % 100 < 50).map(|i| i % 100).sum();
+            assert_eq!(out.rows.row(r).unwrap()[1].as_float(), Some(want as f64), "group {g}");
+        }
+    }
+
+    #[test]
+    fn group_by_string_column_on_dictionary_codes() {
+        let mut db = Database::new();
+        db.create_table("users", &[("country", DataType::Str), ("score", DataType::Int64)]).unwrap();
+        let data = [("de", 10), ("us", 20), ("de", 30), ("fr", 5), ("us", 7), ("de", 2)];
+        for (c, s) in data {
+            db.insert("users", &Record::new().with("country", c).with("score", s as i64)).unwrap();
+        }
+        // Both storage forms, plus the mixed case with post-merge rows.
+        for stage in 0..3 {
+            if stage == 1 {
+                db.merge("users").unwrap();
+            }
+            if stage == 2 {
+                db.insert("users", &Record::new().with("country", "jp").with("score", 99i64)).unwrap();
+                db.insert("users", &Record::new().with("country", "de").with("score", 1i64)).unwrap();
+            }
+            let out = db
+                .execute(&Query::scan("users").group_by("country").aggregate(AggKind::Sum, "score"))
+                .unwrap();
+            let mut want = vec![("de", 42.0), ("fr", 5.0), ("us", 27.0)];
+            if stage == 2 {
+                want = vec![("de", 43.0), ("fr", 5.0), ("jp", 99.0), ("us", 27.0)];
+            }
+            assert_eq!(out.rows.rows(), want.len(), "stage {stage}");
+            for (r, (c, s)) in want.iter().enumerate() {
+                assert_eq!(out.rows.row(r).unwrap()[0], Value::Str(c.to_string()), "stage {stage}");
+                assert_eq!(out.rows.row(r).unwrap()[1].as_float(), Some(*s), "stage {stage}");
+            }
+        }
+        // Grouping on a float column stays an error.
+        let mut fdb = Database::new();
+        fdb.create_table("t", &[("f", DataType::Float64), ("v", DataType::Int64)]).unwrap();
+        assert!(matches!(
+            fdb.execute(&Query::scan("t").group_by("f").aggregate(AggKind::Sum, "v")),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn create_index_backfill_is_metered() {
+        let mut db = sample_db(5_000);
+        db.merge("orders").unwrap();
+        let before = db.meter().grand_total();
+        db.create_index("orders", "id", IndexMaintenance::Eager).unwrap();
+        assert!(db.meter().grand_total().joules() > before.joules(), "index backfill must charge the meter");
+    }
+
+    #[test]
+    fn insert_bills_string_payload_bytes() {
+        let mut db = Database::new();
+        db.create_table("t", &[("s", DataType::Str)]).unwrap();
+        db.insert("t", &Record::new().with("s", "x")).unwrap();
+        let short = db.meter().grand_total().joules();
+        db.insert("t", &Record::new().with("s", "x".repeat(10_000).as_str())).unwrap();
+        let long = db.meter().grand_total().joules() - short;
+        assert!(long > short, "a 10 KB string must cost more to ingest than one byte");
     }
 
     #[test]

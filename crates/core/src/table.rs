@@ -306,6 +306,12 @@ impl Table {
     /// (ascending global row ids), or the full column when `positions`
     /// is `None`. Segments with many hits are decoded once; sparse hits
     /// use compressed random access.
+    ///
+    /// This is the *projection* gather behind
+    /// [`Table::materialize_columns`]. Aggregation no longer calls it —
+    /// aggregates push down into segments and fold partial states from
+    /// the encoded data directly (see `Database::execute`), so a main
+    /// column is never materialized just to be folded away.
     pub fn gather_ints(&self, name: &str, positions: Option<&[u32]>) -> Option<Vec<i64>> {
         let idx = self.schema.position(name)?;
         if self.schema.columns()[idx].1 != DataType::Int64 {

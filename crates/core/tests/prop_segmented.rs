@@ -6,8 +6,11 @@
 use haec_columnar::value::CmpOp;
 use haecdb::prelude::*;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 const TAGS: [&str; 4] = ["alpha", "beta", "gamma", ""];
+
+const KINDS: [AggKind; 5] = [AggKind::Count, AggKind::Sum, AggKind::Min, AggKind::Max, AggKind::Avg];
 
 fn ops() -> impl Strategy<Value = CmpOp> {
     prop_oneof![
@@ -47,6 +50,30 @@ fn insert_row(db: &mut Database, row: &(i64, i64, i64)) {
             .with("tag", TAGS[(region.unsigned_abs() as usize) % TAGS.len()]),
     )
     .unwrap();
+}
+
+/// NaN-aware float equality (MIN/MAX/AVG of an empty selection are NaN).
+fn float_eq(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+/// The naive gather-and-fold reference: what an aggregate must equal,
+/// computed in plain Rust over the raw row tuples.
+fn fold_value(kind: AggKind, values: &[i64]) -> f64 {
+    let count = values.len() as f64;
+    match kind {
+        AggKind::Count => count,
+        AggKind::Sum => values.iter().sum::<i64>() as f64,
+        AggKind::Min => values.iter().copied().min().map_or(f64::NAN, |v| v as f64),
+        AggKind::Max => values.iter().copied().max().map_or(f64::NAN, |v| v as f64),
+        AggKind::Avg => {
+            if values.is_empty() {
+                f64::NAN
+            } else {
+                values.iter().sum::<i64>() as f64 / count
+            }
+        }
+    }
 }
 
 /// Asserts two results carry exactly the same rows, in the same order.
@@ -126,6 +153,99 @@ proptest! {
         assert_same(&before, &after, "manual merge between queries");
         assert_same(&before, &auto_out, "auto-merged vs flat");
         prop_assert!(auto.table("t").unwrap().delta_rows() < threshold);
+    }
+
+    /// Pushed-down aggregates — every `AggKind`, global, int-keyed and
+    /// string-keyed — must equal the naive gather-and-fold reference
+    /// across random inserts, merge cadences and filter mixes, on both
+    /// the segmented and the flat store.
+    #[test]
+    fn pushdown_aggregates_match_naive_reference(
+        rows in proptest::collection::vec((0i64..150, 0i64..6, -40i64..40), 1..220),
+        merge_every in 1usize..90,
+        op in ops(),
+        lit in -50i64..200,
+        filter_col in 0usize..3,
+        kind_idx in 0usize..5,
+        with_tag_filter in any::<bool>(),
+        tag_idx in 0usize..4,
+    ) {
+        let mut flat = make_db();
+        let mut seg = make_db();
+        for (i, row) in rows.iter().enumerate() {
+            insert_row(&mut flat, row);
+            insert_row(&mut seg, row);
+            if (i + 1) % merge_every == 0 {
+                seg.merge("t").unwrap();
+            }
+        }
+        let kind = KINDS[kind_idx];
+        let col = ["id", "region", "amount"][filter_col];
+        let tag = TAGS[tag_idx];
+        let mut base = Query::scan("t").filter(col, op, lit);
+        if with_tag_filter {
+            base = base.filter_str_eq("tag", tag);
+        }
+        // The surviving rows, per the reference semantics.
+        let matching: Vec<&(i64, i64, i64)> = rows
+            .iter()
+            .filter(|(id, region, amount)| {
+                let v = [*id, *region, *amount][filter_col];
+                op.eval(v, lit)
+                    && (!with_tag_filter || TAGS[(region.unsigned_abs() as usize) % TAGS.len()] == tag)
+            })
+            .collect();
+
+        // --- global -----------------------------------------------------
+        let q = base.clone().aggregate(kind, "amount");
+        let want = fold_value(kind, &matching.iter().map(|r| r.2).collect::<Vec<_>>());
+        for (db, name) in [(&mut flat, "flat"), (&mut seg, "segmented")] {
+            let out = db.execute(&q).unwrap();
+            let got = out.rows.row(0).unwrap()[0].as_float().unwrap();
+            prop_assert!(float_eq(got, want), "{name} global {kind}: got {got}, want {want}");
+        }
+
+        // --- grouped by the integer key ---------------------------------
+        let q = base.clone().group_by("region").aggregate(kind, "amount");
+        let mut by_region: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+        for r in &matching {
+            by_region.entry(r.1).or_default().push(r.2);
+        }
+        for (db, name) in [(&mut flat, "flat"), (&mut seg, "segmented")] {
+            let out = db.execute(&q).unwrap();
+            prop_assert_eq!(out.rows.rows(), by_region.len(), "{} grouped-int {} groups", name, kind);
+            for (row, (key, vals)) in by_region.iter().enumerate() {
+                let r = out.rows.row(row).unwrap();
+                prop_assert_eq!(r[0].clone(), Value::Int(*key), "{} grouped-int {} key", name, kind);
+                let got = r[1].as_float().unwrap();
+                let want = fold_value(kind, vals);
+                prop_assert!(
+                    float_eq(got, want),
+                    "{name} grouped-int {kind} key {key}: got {got}, want {want}"
+                );
+            }
+        }
+
+        // --- grouped by the string key (dictionary codes) ---------------
+        let q = base.group_by("tag").aggregate(kind, "amount");
+        let mut by_tag: BTreeMap<&str, Vec<i64>> = BTreeMap::new();
+        for r in &matching {
+            by_tag.entry(TAGS[(r.1.unsigned_abs() as usize) % TAGS.len()]).or_default().push(r.2);
+        }
+        for (db, name) in [(&mut flat, "flat"), (&mut seg, "segmented")] {
+            let out = db.execute(&q).unwrap();
+            prop_assert_eq!(out.rows.rows(), by_tag.len(), "{} grouped-str {} groups", name, kind);
+            for (row, (key, vals)) in by_tag.iter().enumerate() {
+                let r = out.rows.row(row).unwrap();
+                prop_assert_eq!(r[0].clone(), Value::Str((*key).to_string()), "{} grouped-str {}", name, kind);
+                let got = r[1].as_float().unwrap();
+                let want = fold_value(kind, vals);
+                prop_assert!(
+                    float_eq(got, want),
+                    "{name} grouped-str {kind} key {key:?}: got {got}, want {want}"
+                );
+            }
+        }
     }
 
     /// Index lookups and compressed scans agree on merged tables for

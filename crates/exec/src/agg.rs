@@ -82,6 +82,19 @@ impl AggState {
         self.max = self.max.max(v);
     }
 
+    /// Folds `n` copies of `v` in without iterating — the run/constant
+    /// fast path of compression-aware aggregation (one multiply per RLE
+    /// run, one call per sentinel-filled segment).
+    pub fn update_repeated(&mut self, v: i64, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.count += n as u64;
+        self.sum = self.sum.wrapping_add(v.wrapping_mul(n as i64));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
     /// Merges another state in (parallel partial merge).
     pub fn merge(&mut self, other: &AggState) {
         self.count += other.count;
@@ -384,6 +397,20 @@ mod tests {
         assert_eq!(s.value(AggKind::Min), None);
         assert_eq!(s.value(AggKind::Max), None);
         assert_eq!(s.value(AggKind::Avg), None);
+    }
+
+    #[test]
+    fn update_repeated_equals_looped() {
+        let mut looped = AggState::empty();
+        for _ in 0..1000 {
+            looped.update(-7);
+        }
+        looped.update(3);
+        let mut batched = AggState::empty();
+        batched.update_repeated(-7, 1000);
+        batched.update_repeated(3, 1);
+        batched.update_repeated(99, 0); // no-op
+        assert_eq!(batched, looped);
     }
 
     #[test]

@@ -152,6 +152,30 @@ impl CostModel {
         self.finish(ResourceProfile::scan(cycles, ByteCount::new(rows * 8)))
     }
 
+    /// Cost of an aggregation pushed down onto a **segmented, compressed**
+    /// table: values stream-decode straight out of the encoded column (no
+    /// full-column materialization), so DRAM traffic is the column's
+    /// `encoded_bytes` — scaled by the zone-survival fraction `live_frac`
+    /// — and CPU adds a per-row decode on top of the aggregate update
+    /// (plus the hash probe when grouping).
+    ///
+    /// Compare with decode-then-[`CostModel::aggregate`], which pays the
+    /// full decode *and* re-reads the materialized plain column: pushdown
+    /// is strictly cheaper for any compressible column.
+    pub fn agg_pushdown(&self, rows: u64, encoded_bytes: u64, groups: u64, live_frac: f64) -> PlanCost {
+        let live_frac = live_frac.clamp(0.0, 1.0);
+        let live_rows = (rows as f64 * live_frac).ceil() as u64;
+        let cycles = self.costs.cycles_for(Kernel::CompressDecode, live_rows)
+            + self.costs.cycles_for(Kernel::AggUpdate, live_rows)
+            + if groups > 1 {
+                self.costs.cycles_for(Kernel::HashProbe, live_rows)
+            } else {
+                haec_energy::Cycles::ZERO
+            };
+        let bytes = (encoded_bytes as f64 * live_frac).ceil() as u64;
+        self.finish(ResourceProfile::scan(cycles, ByteCount::new(bytes)))
+    }
+
     /// Cost of (de)compressing `rows` values (used when shipping
     /// compressed — the codec halves of E3 at plan level).
     pub fn codec(&self, rows: u64) -> PlanCost {
@@ -214,6 +238,39 @@ mod tests {
         let small = m.hash_join(1000, 10_000, 10_000);
         let large = m.hash_join(1000, 100_000, 100_000);
         assert!(small.time < large.time);
+    }
+
+    #[test]
+    fn agg_pushdown_beats_decode_then_aggregate() {
+        // Gather-and-fold = decode the whole column (full encoded read +
+        // a plain-column write/re-read) then the flat aggregate. The
+        // pushdown skips the materialization round-trip entirely, so it
+        // must win on both objectives for a 4x-compressed column.
+        let m = model();
+        let rows = 10_000_000u64;
+        let encoded = rows * 8 / 4;
+        for groups in [1u64, 64] {
+            let push = m.agg_pushdown(rows, encoded, groups, 1.0);
+            let decode = m.finish(ResourceProfile {
+                cpu_cycles: m.costs.cycles_for(Kernel::CompressDecode, rows),
+                dram_read: ByteCount::new(encoded),
+                dram_written: ByteCount::new(rows * 8),
+                ..ResourceProfile::default()
+            });
+            let gather = decode + m.aggregate(rows, groups);
+            assert!(push.time < gather.time, "groups={groups}");
+            assert!(push.energy.joules() < gather.energy.joules(), "groups={groups}");
+        }
+        // Zone survival scales work down.
+        let full = m.agg_pushdown(rows, encoded, 1, 1.0);
+        let pruned = m.agg_pushdown(rows, encoded, 1, 0.25);
+        assert!(pruned.time < full.time);
+        assert!(pruned.energy.joules() < full.energy.joules());
+        // Grouping costs extra.
+        assert!(
+            m.agg_pushdown(rows, encoded, 8, 1.0).energy.joules()
+                > m.agg_pushdown(rows, encoded, 1, 1.0).energy.joules()
+        );
     }
 
     #[test]
