@@ -20,6 +20,7 @@ pub mod e15_reliability;
 pub mod e16_compression;
 pub mod e17_delta_merge;
 pub mod e18_agg_pushdown;
+pub mod e19_join_compressed;
 
 use crate::report::Report;
 
@@ -47,6 +48,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e16", e16_compression::run),
         ("e17", e17_delta_merge::run),
         ("e18", e18_agg_pushdown::run),
+        ("e19", e19_join_compressed::run),
         ("a01", a01_ablations::run),
     ]
 }

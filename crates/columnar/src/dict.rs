@@ -86,6 +86,26 @@ impl DictColumn {
         self.dict.iter().map(String::as_str)
     }
 
+    /// Appends a row by an **already-interned** code — the code-to-code
+    /// fast path positional gathers use: no per-row string hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` was never interned.
+    pub fn push_code(&mut self, code: u32) {
+        assert!((code as usize) < self.dict.len(), "code {code} not interned");
+        self.codes.push(code);
+    }
+
+    /// For every distinct value of `self` (in code order), the code
+    /// `target` assigns that value, or `None` if `target` never interned
+    /// it — the one-off dictionary remap that lets equi-joins and
+    /// gathers translate between two code spaces in O(dictionary)
+    /// lookups, never O(rows).
+    pub fn codes_in(&self, target: &DictColumn) -> Vec<Option<u32>> {
+        self.dict.iter().map(|s| target.code_of(s)).collect()
+    }
+
     /// The raw code vector (the integer view scans operate on).
     pub fn codes(&self) -> &[u32] {
         &self.codes
@@ -193,6 +213,31 @@ mod tests {
             few_distinct.push(&format!("value-{}", i % 4));
         }
         assert!(few_distinct.size_bytes() < many_distinct.size_bytes() / 2);
+    }
+
+    #[test]
+    fn push_code_skips_hashing_path() {
+        let mut c = DictColumn::from_iter(["a", "b"]);
+        c.push_code(0);
+        assert_eq!(c.get(2), Some("a"));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dict_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not interned")]
+    fn push_code_rejects_unknown() {
+        DictColumn::new().push_code(0);
+    }
+
+    #[test]
+    fn codes_in_translates_code_spaces() {
+        let a = DictColumn::from_iter(["x", "y", "z"]);
+        let b = DictColumn::from_iter(["z", "x"]);
+        let remap = a.codes_in(&b);
+        assert_eq!(remap, vec![Some(1), None, Some(0)]);
+        assert_eq!(b.codes_in(&a), vec![Some(2), Some(0)]);
+        assert!(DictColumn::new().codes_in(&a).is_empty());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::error::{DbError, DbResult};
 use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
 use crate::schema::{Record, TableSchema};
-use crate::segment::{zone_all_match, zone_may_match, MergeStats, SegColumn};
+use crate::segment::{zone_all_match, zone_may_match, MergeStats, SegColumn, Segment};
 use crate::table::Table;
 use haec_columnar::bitmap::Bitmap;
 use haec_columnar::chunk::Chunk;
@@ -40,10 +40,11 @@ use haec_energy::meter::EnergyMeter;
 use haec_energy::profile::{CostEstimator, ExecutionContext, ResourceProfile};
 use haec_energy::units::{ByteCount, Joules};
 use haec_exec::agg::{aggregate, AggKind, AggState};
+use haec_exec::join::{sort_merge_join_pairs, HashJoin, HASH_BUCKET_BYTES};
 use haec_exec::morsel::parallel_morsels;
 use haec_exec::select::{select_metered, SelectKernel};
-use haec_planner::access::{choose_access_segmented, AccessPath};
-use haec_planner::cost::CostModel;
+use haec_planner::access::{choose_access_segmented, join_zone_overlap, AccessPath, ZoneMapMeta};
+use haec_planner::cost::{CostModel, JoinAlgo, JoinSideCost};
 use haec_planner::optimizer::{choose, Goal};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -88,9 +89,21 @@ pub struct Query {
     table: String,
     filters: Vec<Filter>,
     str_filters: Vec<StrFilter>,
+    join: Option<JoinClause>,
     group_by: Option<String>,
     agg: Option<(AggKind, String)>,
     select: Option<Vec<String>>,
+}
+
+/// The equi-join stage of a [`Query`]: the other (right) table, the key
+/// column on each side, and the right side's own filters.
+#[derive(Clone, Debug, PartialEq)]
+struct JoinClause {
+    table: String,
+    left_col: String,
+    right_col: String,
+    filters: Vec<Filter>,
+    str_filters: Vec<StrFilter>,
 }
 
 impl Query {
@@ -100,6 +113,7 @@ impl Query {
             table: table.into(),
             filters: Vec::new(),
             str_filters: Vec::new(),
+            join: None,
             group_by: None,
             agg: None,
             select: None,
@@ -122,6 +136,87 @@ impl Query {
     /// Adds a conjunctive string-inequality predicate.
     pub fn filter_str_ne(mut self, column: impl Into<String>, value: impl Into<String>) -> Self {
         self.str_filters.push(StrFilter { column: column.into(), value: value.into(), negated: true });
+        self
+    }
+
+    /// Equi-joins this query's table with `table` on
+    /// `left_col = right_col` (both integer columns, or both string
+    /// columns — string keys join **code-to-code** on dictionary codes,
+    /// never on the strings).
+    ///
+    /// Filters added with [`Query::filter`] / [`Query::filter_str_eq`]
+    /// apply to the left (this) table; filters on the joined table go
+    /// through [`Query::join_filter`] / [`Query::join_filter_str_eq`].
+    /// Without a projection the output carries every left column under
+    /// its own name, then every right column as `"table.column"`;
+    /// [`Query::select`] accepts bare names (left side wins ties) or
+    /// qualified `"table.column"` names for either side. In a
+    /// self-join, bare names mean the left occurrence and qualified
+    /// names the right one — matching the default projection's labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query already has a join stage — multi-way joins
+    /// are not supported yet, and silently replacing the first join
+    /// (and its `join_filter`s) would mask a query-building bug.
+    pub fn join(
+        mut self,
+        table: impl Into<String>,
+        left_col: impl Into<String>,
+        right_col: impl Into<String>,
+    ) -> Self {
+        assert!(self.join.is_none(), "only one join stage is supported (multi-way joins are a ROADMAP item)");
+        self.join = Some(JoinClause {
+            table: table.into(),
+            left_col: left_col.into(),
+            right_col: right_col.into(),
+            filters: Vec::new(),
+            str_filters: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a conjunctive integer predicate on the joined (right) table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Query::join`].
+    pub fn join_filter(mut self, column: impl Into<String>, op: CmpOp, literal: i64) -> Self {
+        self.join.as_mut().expect("join_filter requires .join(...) first").filters.push(Filter {
+            column: column.into(),
+            op,
+            literal,
+        });
+        self
+    }
+
+    /// Adds a conjunctive string-equality predicate on the joined
+    /// (right) table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Query::join`].
+    pub fn join_filter_str_eq(mut self, column: impl Into<String>, value: impl Into<String>) -> Self {
+        self.join
+            .as_mut()
+            .expect("join_filter_str_eq requires .join(...) first")
+            .str_filters
+            .push(StrFilter { column: column.into(), value: value.into(), negated: false });
+        self
+    }
+
+    /// Adds a conjunctive string-inequality predicate on the joined
+    /// (right) table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Query::join`].
+    pub fn join_filter_str_ne(mut self, column: impl Into<String>, value: impl Into<String>) -> Self {
+        self.join
+            .as_mut()
+            .expect("join_filter_str_ne requires .join(...) first")
+            .str_filters
+            .push(StrFilter { column: column.into(), value: value.into(), negated: true });
         self
     }
 
@@ -323,6 +418,150 @@ impl Iterator for SegIter<'_> {
                 *left -= 1;
                 Some(*v)
             }
+        }
+    }
+}
+
+/// Sentinel join key for probe-side string values the build side never
+/// interned: joins with nothing, dropped during key extraction.
+const NO_KEY: i64 = i64::MIN;
+
+/// A join-key column resolved for one side: integer keys join on their
+/// values; string keys join **code-to-code** in the build side's
+/// unified code space (its table-global dictionary codes first, then
+/// its delta-fresh values shifted past them), translated through
+/// one-off dictionary remaps — O(dictionary), never O(rows).
+enum KeyCol {
+    /// An integer key column.
+    Int(usize),
+    /// A string key column with its code remaps into the build space.
+    Str {
+        /// Column index.
+        col: usize,
+        /// This side's table-global code → join key.
+        main_map: Vec<i64>,
+        /// This side's delta-local code → join key.
+        delta_map: Vec<i64>,
+        /// Join key of rows in segments predating the column (`""`).
+        sentinel_key: i64,
+    },
+}
+
+impl KeyCol {
+    fn col(&self) -> usize {
+        match self {
+            KeyCol::Int(c) => *c,
+            KeyCol::Str { col, .. } => *col,
+        }
+    }
+}
+
+/// The build side's string-key space. `""` always resolves to a key —
+/// real `""` rows and sentinel rows of segments predating the column
+/// must be able to meet across tables.
+struct StrKeySpace<'a> {
+    global: Option<&'a DictColumn>,
+    delta: Option<&'a DictColumn>,
+    global_len: i64,
+}
+
+impl<'a> StrKeySpace<'a> {
+    fn of(t: &'a Table, idx: usize) -> Self {
+        let global = t.global_dict(idx);
+        let delta = t.delta_column(idx).and_then(Column::as_str);
+        StrKeySpace { global, delta, global_len: global.map_or(0, DictColumn::dict_size) as i64 }
+    }
+
+    /// Key for values the build's global dictionary does not hold:
+    /// delta-fresh values shift past the global codes; `""` gets a
+    /// reserved key one past everything; anything else cannot join.
+    fn fallback_key(&self, s: &str) -> i64 {
+        if let Some(c) = self.delta.and_then(|l| l.code_of(s)) {
+            return self.global_len + i64::from(c);
+        }
+        if s.is_empty() {
+            return self.global_len + self.delta.map_or(0, DictColumn::dict_size) as i64;
+        }
+        NO_KEY
+    }
+
+    fn key_of(&self, s: &str) -> i64 {
+        match self.global.and_then(|g| g.code_of(s)) {
+            Some(c) => i64::from(c),
+            None => self.fallback_key(s),
+        }
+    }
+}
+
+/// Resolves one side's string key column into `space` (the build
+/// side's), counting the dictionary lookups performed so the caller can
+/// bill the one-off remap.
+fn str_key_col(t: &Table, idx: usize, space: &StrKeySpace<'_>, lookups: &mut u64) -> KeyCol {
+    let map_dict = |d: &DictColumn, lookups: &mut u64| -> Vec<i64> {
+        // The build side's own global dictionary maps into itself: an
+        // identity map, no lookups to run (or bill).
+        if space.global.is_some_and(|g| std::ptr::eq(g, d)) {
+            return (0..d.dict_size() as i64).collect();
+        }
+        // Bulk first-level remap into the build's global dictionary
+        // (the PR 3 machinery generalized across tables), then resolve
+        // the misses through its delta-local dictionary.
+        let first = match space.global {
+            Some(g) => d.codes_in(g),
+            None => vec![None; d.dict_size()],
+        };
+        *lookups += d.dict_size() as u64;
+        d.iter_dict()
+            .zip(first)
+            .map(|(s, hit)| hit.map_or_else(|| space.fallback_key(s), i64::from))
+            .collect()
+    };
+    let main_map = t.global_dict(idx).map_or_else(Vec::new, |d| map_dict(d, lookups));
+    let delta_map =
+        t.delta_column(idx).and_then(Column::as_str).map_or_else(Vec::new, |d| map_dict(d, lookups));
+    KeyCol::Str { col: idx, main_map, delta_map, sentinel_key: space.key_of("") }
+}
+
+/// The probe side's pruning range, in its **physical** key domain:
+/// build-key min/max for integer keys; for string keys, the span of
+/// probe-side global codes whose remapped key `member`s the build side
+/// (an inverted range when none does, pruning every probe segment —
+/// the delta tail is never pruned). `None` disables pruning.
+///
+/// Also returns how many `member` lookups ran (one per probe-dictionary
+/// entry for string keys, zero for integer keys, whose min/max fold
+/// runs over already-billed extracted pairs) so the caller can charge
+/// them — the integer fold is register arithmetic, the string case is a
+/// real probe of the build structure per distinct value.
+fn probe_prune_range(
+    bkeys: &[(i64, u32)],
+    pkey: &KeyCol,
+    member: impl Fn(i64) -> bool,
+) -> (Option<(i64, i64)>, u64) {
+    match pkey {
+        KeyCol::Int(_) => {
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            for &(k, _) in bkeys {
+                lo = lo.min(k);
+                hi = hi.max(k);
+            }
+            ((lo <= hi).then_some((lo, hi)), 0)
+        }
+        KeyCol::Str { main_map, .. } => {
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            let mut lookups = 0;
+            for (code, &k) in main_map.iter().enumerate() {
+                if k != NO_KEY {
+                    lookups += 1;
+                    if member(k) {
+                        lo = lo.min(code as i64);
+                        hi = hi.max(code as i64);
+                    }
+                }
+            }
+            (Some(if lo <= hi { (lo, hi) } else { (1, 0) }), lookups)
         }
     }
 }
@@ -558,6 +797,9 @@ impl Database {
     ///
     /// Unknown tables/columns, type mismatches, and malformed queries.
     pub fn execute(&mut self, query: &Query) -> DbResult<QueryResult> {
+        if let Some(jc) = &query.join {
+            return self.execute_join(query, jc);
+        }
         let started = std::time::Instant::now();
         let t = self.tables.get(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
         let mut profile = ResourceProfile::default();
@@ -721,6 +963,478 @@ impl Database {
             access_path,
             profile,
         })
+    }
+
+    /// Executes an equi-join query end to end **on compressed
+    /// segments**: per-side filters run through the segmented scan,
+    /// join keys stream out of the encoded main columns
+    /// ([`haec_columnar::encoding::EncodedInts::iter`] — integer keys as
+    /// values, string keys code-to-code through a one-off dictionary
+    /// remap), the build side feeds the hash table per segment over the
+    /// same morsel units as scans, probe segments are pre-pruned
+    /// against the build side's key range (the join-specific zone
+    /// intersection of [`haec_planner::access::join_zone_overlap`]),
+    /// and payload columns are gathered late — only for surviving
+    /// `(build_row, probe_row)` pairs — via [`Table::gather_rows`].
+    ///
+    /// A main column is **never** materialized for its join keys; the
+    /// meter is billed the encoded bytes streamed, the hash build/probe
+    /// (or sort) cycles including bucket traffic, and the gather.
+    fn execute_join(&mut self, query: &Query, jc: &JoinClause) -> DbResult<QueryResult> {
+        let started = std::time::Instant::now();
+        if query.group_by.is_some() || query.agg.is_some() {
+            return Err(DbError::BadQuery("aggregates over joins are not supported yet".into()));
+        }
+        let lt = self.tables.get(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
+        let rt = self.tables.get(&jc.table).ok_or_else(|| DbError::NoSuchTable(jc.table.clone()))?;
+        let mut profile = ResourceProfile::default();
+
+        // --- key columns: both int, or both string --------------------
+        let lkey_idx = lt.schema().position(&jc.left_col).ok_or_else(|| DbError::NoSuchColumn {
+            table: query.table.clone(),
+            column: jc.left_col.clone(),
+        })?;
+        let rkey_idx = rt
+            .schema()
+            .position(&jc.right_col)
+            .ok_or_else(|| DbError::NoSuchColumn { table: jc.table.clone(), column: jc.right_col.clone() })?;
+        let ltype = lt.schema().columns()[lkey_idx].1;
+        let rtype = rt.schema().columns()[rkey_idx].1;
+        if ltype == DataType::Float64 {
+            return Err(DbError::TypeMismatch { column: jc.left_col.clone(), expected: DataType::Int64 });
+        }
+        if rtype != ltype {
+            return Err(DbError::TypeMismatch { column: jc.right_col.clone(), expected: ltype });
+        }
+
+        // --- per-side filters, on each side's own compressed store ----
+        let l_int = resolve_int_preds(lt, &query.table, &query.filters)?;
+        let l_str = resolve_str_preds(lt, &query.table, &query.str_filters)?;
+        let r_int = resolve_int_preds(rt, &jc.table, &jc.filters)?;
+        let r_str = resolve_str_preds(rt, &jc.table, &jc.str_filters)?;
+        let lpos = if l_int.is_empty() && l_str.is_empty() {
+            None
+        } else {
+            let (p, pr) = self.scan_segmented(lt, &l_int, &l_str);
+            profile += pr;
+            Some(p)
+        };
+        let rpos = if r_int.is_empty() && r_str.is_empty() {
+            None
+        } else {
+            let (p, pr) = self.scan_segmented(rt, &r_int, &r_str);
+            profile += pr;
+            Some(p)
+        };
+
+        // --- plan: build side + algorithm, on compressed footprints ---
+        let l_rows = lpos.as_ref().map_or(lt.rows(), Vec::len) as u64;
+        let r_rows = rpos.as_ref().map_or(rt.rows(), Vec::len) as u64;
+        let (l_frac, r_frac) = if ltype == DataType::Int64 {
+            // Estimated survival of each side's segments against the
+            // other side's key extrema (the executor prunes for real
+            // below, with the same intersection test).
+            let lz = lt.zone_maps(&jc.left_col).expect("validated int column");
+            let rz = rt.zone_maps(&jc.right_col).expect("validated int column");
+            let span = |zs: &[ZoneMapMeta]| {
+                zs.iter().fold((i64::MAX, i64::MIN), |(lo, hi), z| (lo.min(z.min), hi.max(z.max)))
+            };
+            let (rlo, rhi) = span(&rz);
+            let (llo, lhi) = span(&lz);
+            (join_zone_overlap(&lz, rlo, rhi), join_zone_overlap(&rz, llo, lhi))
+        } else {
+            (1.0, 1.0)
+        };
+        let lcost = JoinSideCost {
+            rows: l_rows,
+            encoded_key_bytes: lt.column_encoded_bytes(&jc.left_col).unwrap_or(0) as u64,
+            live_frac: l_frac,
+        };
+        let rcost = JoinSideCost {
+            rows: r_rows,
+            encoded_key_bytes: rt.column_encoded_bytes(&jc.right_col).unwrap_or(0) as u64,
+            live_frac: r_frac,
+        };
+        let model = CostModel::new(self.machine.clone()).with_kernel_costs(self.costs.clone());
+        let decision = model.join_compressed(&lcost, &rcost, l_rows.max(r_rows));
+        // Respect the session goal when the algorithms trade time for
+        // energy (same knob as scan-vs-index).
+        let algo = match choose(&[decision.hash_cost, decision.merge_cost], self.goal) {
+            Ok(1) => JoinAlgo::SortMerge,
+            _ => JoinAlgo::Hash,
+        };
+        let build_left = decision.build_left;
+        let (bt, pt) = if build_left { (lt, rt) } else { (rt, lt) };
+        let (bpos, ppos) = if build_left { (&lpos, &rpos) } else { (&rpos, &lpos) };
+        let (bkey_idx, pkey_idx) = if build_left { (lkey_idx, rkey_idx) } else { (rkey_idx, lkey_idx) };
+
+        // --- key spaces ----------------------------------------------
+        let (bkey, pkey) = match ltype {
+            DataType::Int64 => (KeyCol::Int(bkey_idx), KeyCol::Int(pkey_idx)),
+            DataType::Str => {
+                let space = StrKeySpace::of(bt, bkey_idx);
+                let mut lookups = 0u64;
+                let bk = str_key_col(bt, bkey_idx, &space, &mut lookups);
+                let pk = str_key_col(pt, pkey_idx, &space, &mut lookups);
+                // The one-off remap is O(dictionary) hash lookups, never
+                // O(rows) — billed as such.
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::HashProbe, lookups);
+                profile.dram_read += ByteCount::new(lookups * HASH_BUCKET_BYTES);
+                (bk, pk)
+            }
+            DataType::Float64 => unreachable!("rejected above"),
+        };
+
+        // --- build, then probe (both streaming on encoded data) -------
+        let (bkeys, bprof) = self.extract_join_keys(bt, &bkey, bpos.as_deref(), None);
+        profile += bprof;
+        let pairs: Vec<(u32, u32)> = if bkeys.is_empty() {
+            Vec::new()
+        } else {
+            match algo {
+                JoinAlgo::Hash => {
+                    let join = HashJoin::from_pairs(&bkeys);
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::HashBuild, bkeys.len() as u64);
+                    profile.dram_written += ByteCount::new(bkeys.len() as u64 * 16);
+                    let (prune, lookups) = probe_prune_range(&bkeys, &pkey, |k| join.matches(k).is_some());
+                    // The range refinement probes the hash table once per
+                    // distinct probe value — O(dictionary), billed as such.
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::HashProbe, lookups);
+                    profile.dram_read += ByteCount::new(lookups * HASH_BUCKET_BYTES);
+                    let (pairs, pprof) = self.probe_hash_join(pt, &pkey, ppos.as_deref(), prune, &join);
+                    profile += pprof;
+                    pairs
+                }
+                JoinAlgo::SortMerge => {
+                    let (bmin, bmax) =
+                        bkeys.iter().fold((i64::MAX, i64::MIN), |(lo, hi), &(k, _)| (lo.min(k), hi.max(k)));
+                    let (prune, lookups) = probe_prune_range(&bkeys, &pkey, |k| k >= bmin && k <= bmax);
+                    // Range membership here is a comparison per distinct
+                    // probe value, not a hash probe.
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::SelectBitwise, lookups);
+                    let (mut pkeys, pprof) = self.extract_join_keys(pt, &pkey, ppos.as_deref(), prune);
+                    profile += pprof;
+                    let mut bkeys = bkeys;
+                    let out = sort_merge_join_pairs(&mut bkeys, &mut pkeys);
+                    let n = (bkeys.len() + pkeys.len()) as u64;
+                    let levels = (n.max(2) as f64).log2().ceil() as u64;
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::SortPerLevel, n * levels);
+                    profile.dram_read += ByteCount::new(n * 12 * levels + n * 12);
+                    profile.dram_written += ByteCount::new(n * 12 + out.len() as u64 * 8);
+                    out
+                }
+            }
+        };
+
+        // --- late gather: only surviving pairs touch payloads ---------
+        let (lrows, rrows): (Vec<u32>, Vec<u32>) =
+            pairs.iter().map(|&(b, p)| if build_left { (b, p) } else { (p, b) }).unzip();
+        let spec = resolve_join_outputs(query, jc, lt, rt)?;
+        let side_names = |left: bool| -> Vec<String> {
+            spec.iter().filter(|(l, ..)| *l == left).map(|(_, _, col)| col.clone()).collect()
+        };
+        let (lcols, lprof) = self.gather_join_side(lt, &side_names(true), &lrows)?;
+        let (rcols, rprof) = self.gather_join_side(rt, &side_names(false), &rrows)?;
+        profile += lprof;
+        profile += rprof;
+        let mut li = lcols.into_iter();
+        let mut ri = rcols.into_iter();
+        let cols: Vec<(String, Column)> = spec
+            .into_iter()
+            .map(|(left, out_name, _)| {
+                let (_, col) =
+                    if left { li.next() } else { ri.next() }.expect("one gathered column per spec entry");
+                (out_name, col)
+            })
+            .collect();
+        let out = Chunk::new(cols).map_err(|e| DbError::BadQuery(format!("join output: {e}")))?;
+
+        // --- metering -------------------------------------------------
+        let before = self.meter.snapshot();
+        let est = self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
+        let delta = self.meter.since(&before);
+        Ok(QueryResult {
+            rows: out,
+            energy: delta.grand_total(),
+            modeled_time: est.time,
+            wall_time: started.elapsed(),
+            access_path: None,
+            profile,
+        })
+    }
+
+    /// Gathers one side's payload columns for its surviving join rows,
+    /// billing the work. Strictly ascending row lists — the unique-key
+    /// (FK) probe side, where pairs come back in probe-row order — take
+    /// the dense ordered path of [`Table::materialize_columns`], billed
+    /// per segment exactly as executed (whole-segment decode when hits
+    /// are dense, random access when sparse);
+    /// everything else (scattered build rows, duplicate keys) goes
+    /// through the positional [`Table::gather_rows`], paying compressed
+    /// random access per cell.
+    fn gather_join_side(
+        &self,
+        t: &Table,
+        names: &[String],
+        rows: &[u32],
+    ) -> DbResult<(Vec<(String, Column)>, ResourceProfile)> {
+        let mut profile = ResourceProfile::default();
+        let cells = (rows.len() * names.len()) as u64;
+        profile.cpu_cycles += self.costs.cycles_for(Kernel::Materialize, cells);
+        if rows.windows(2).all(|w| w[0] < w[1]) {
+            let cols = t.materialize_columns(names, Some(rows))?;
+            // Bill what the ordered gather actually does per segment:
+            // dense segments (hits·8 ≥ rows) are decoded whole (full
+            // decode cycles + the segment's encoded bytes), sparse ones
+            // pay compressed random access per hit. The per-segment hit
+            // counts come from one pass over the ascending row list.
+            let mut i = 0;
+            let mut seg_hits: Vec<(usize, usize)> = Vec::new(); // (segment, hits)
+            for (si, seg) in t.segments().iter().enumerate() {
+                let end = t.segment_base(si) + seg.rows();
+                let from = i;
+                while i < rows.len() && (rows[i] as usize) < end {
+                    i += 1;
+                }
+                if i > from {
+                    seg_hits.push((si, i - from));
+                }
+            }
+            let delta_hits = (rows.len() - i) as u64;
+            for (name, col) in &cols {
+                let idx = t.schema().position(name).expect("materialized column exists");
+                let (mut items, mut bytes) = (0u64, delta_hits * 8);
+                for &(si, n) in &seg_hits {
+                    let seg = &t.segments()[si];
+                    if let Some(c) = seg.column(idx) {
+                        if n * 8 >= seg.rows() {
+                            items += seg.rows() as u64;
+                            bytes += c.encoded_bytes() as u64;
+                        } else {
+                            items += n as u64;
+                            bytes += n as u64 * 8;
+                        }
+                    }
+                }
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, items);
+                profile.dram_read += ByteCount::new(bytes);
+                profile.dram_written += ByteCount::new(col.size_bytes() as u64);
+            }
+            Ok((cols, profile))
+        } else {
+            let (cols, stats) = t.gather_rows(names, rows)?;
+            profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, stats.decode_items);
+            profile.dram_read += ByteCount::new(stats.bytes_read);
+            profile.dram_written += ByteCount::new(stats.bytes_written);
+            Ok((cols, profile))
+        }
+    }
+
+    /// Streams one side's surviving `(join key, global row)` pairs, unit
+    /// by unit over the same morsel dispatch as scans. Main segments
+    /// stream their **encoded** key column; string keys map code-to-code
+    /// through the side's [`KeyCol`] remaps; segments whose key zone
+    /// misses `prune` are skipped without touching a byte.
+    fn extract_join_keys(
+        &self,
+        t: &Table,
+        key: &KeyCol,
+        positions: Option<&[u32]>,
+        prune: Option<(i64, i64)>,
+    ) -> (Vec<(i64, u32)>, ResourceProfile) {
+        let unit_hits = split_unit_hits(t, positions);
+        let parts = self.eval_units(t, |u| {
+            let hits = unit_hits.as_ref().map(|v| v[u]);
+            if hits.is_some_and(<[u32]>::is_empty) {
+                return (Vec::new(), ResourceProfile::default());
+            }
+            let mut kv = Vec::new();
+            let mut profile = self.unit_join_keys(t, u, key, hits, prune, |k, row| kv.push((k, row)));
+            // The extracted pair vector is real intermediate traffic.
+            profile.dram_written += ByteCount::new(kv.len() as u64 * 12);
+            (kv, profile)
+        });
+        let mut out = Vec::new();
+        let mut profile = ResourceProfile::default();
+        for (kv, pr) in parts {
+            out.extend(kv);
+            profile += pr;
+        }
+        (out, profile)
+    }
+
+    /// Probes `join` with one side's surviving rows — key streaming and
+    /// hash probing fused per unit, so large probes parallelize over
+    /// morsels. Returns `(build_row, probe_row)` pairs in probe-row
+    /// order, billing bucket headers per probe, row-id list entries per
+    /// hit, and the output pairs vector.
+    fn probe_hash_join(
+        &self,
+        t: &Table,
+        key: &KeyCol,
+        positions: Option<&[u32]>,
+        prune: Option<(i64, i64)>,
+        join: &HashJoin,
+    ) -> (Vec<(u32, u32)>, ResourceProfile) {
+        let unit_hits = split_unit_hits(t, positions);
+        let parts = self.eval_units(t, |u| {
+            let hits = unit_hits.as_ref().map(|v| v[u]);
+            if hits.is_some_and(<[u32]>::is_empty) {
+                return (Vec::new(), ResourceProfile::default());
+            }
+            // Keys stream straight into the probe — no intermediate
+            // (key, row) vector is ever materialized (or billed).
+            let mut pairs = Vec::new();
+            let mut probed = 0u64;
+            let mut profile = self.unit_join_keys(t, u, key, hits, prune, |k, row| {
+                probed += 1;
+                if let Some(ms) = join.matches(k) {
+                    for &b in ms {
+                        pairs.push((b, row));
+                    }
+                }
+            });
+            profile.cpu_cycles += self.costs.cycles_for(Kernel::HashProbe, probed);
+            profile.dram_read += ByteCount::new(probed * HASH_BUCKET_BYTES + pairs.len() as u64 * 4);
+            profile.dram_written += ByteCount::new(pairs.len() as u64 * 8);
+            (pairs, profile)
+        });
+        let mut out = Vec::new();
+        let mut profile = ResourceProfile::default();
+        for (p, pr) in parts {
+            out.extend(p);
+            profile += pr;
+        }
+        (out, profile)
+    }
+
+    /// Streams one execution unit's `(join key, global row)` pairs into
+    /// `sink`: a main segment streams (or random-accesses, for sparse
+    /// hits) its encoded key column after the zone check against
+    /// `prune`; a delta chunk reads its flat tail. Probe-side `NO_KEY`
+    /// rows (string values the build side never interned) are dropped
+    /// here. Returns the work billed — the sink's own storage (if any)
+    /// is the caller's to bill.
+    fn unit_join_keys(
+        &self,
+        t: &Table,
+        u: usize,
+        key: &KeyCol,
+        hits: Option<&[u32]>,
+        prune: Option<(i64, i64)>,
+        mut sink: impl FnMut(i64, u32),
+    ) -> ResourceProfile {
+        let nsegs = t.segments().len();
+        let mut profile = ResourceProfile::default();
+        // `NO_KEY` is a *string-key* sentinel (a value the build side
+        // never interned); integer keys pass through untouched —
+        // `i64::MIN` is a perfectly good join key there.
+        let drop_sentinels = matches!(key, KeyCol::Str { .. });
+        let mut out = |k: i64, row: u32| {
+            if !(drop_sentinels && k == NO_KEY) {
+                sink(k, row);
+            }
+        };
+        if u < nsegs {
+            let seg = &t.segments()[u];
+            let base = t.segment_base(u);
+            let rows = seg.rows();
+            let (src, map): (SegSource<'_>, Option<&[i64]>) = match key {
+                KeyCol::Int(idx) => match seg.column(*idx) {
+                    Some(SegColumn::Int { data, .. }) => (SegSource::Enc(data), None),
+                    None => (SegSource::Const(0), None),
+                    Some(_) => unreachable!("join key validated as integer column"),
+                },
+                KeyCol::Str { col, main_map, sentinel_key, .. } => match seg.column(*col) {
+                    Some(SegColumn::Str { codes, .. }) => (SegSource::Enc(codes), Some(main_map)),
+                    None => (SegSource::Const(*sentinel_key), None),
+                    Some(_) => unreachable!("join key validated as string column"),
+                },
+            };
+            // Join-specific zone pruning: the segment's key zone against
+            // the build side's range (same intersection test the planner
+            // estimates with).
+            if let (Some((lo, hi)), SegSource::Enc(_)) = (prune, src) {
+                let (zlo, zhi) = seg.zone(key.col()).expect("non-empty segment has a zone");
+                if !(ZoneMapMeta { rows: 0, min: zlo, max: zhi }.overlaps(lo, hi)) {
+                    return profile; // pruned: no data touched
+                }
+            }
+            let keyify = |raw: i64| -> i64 {
+                match map {
+                    Some(m) => m[raw as usize],
+                    None => raw,
+                }
+            };
+            let full = hits.is_none_or(|h| h.len() == rows);
+            if full {
+                for (local, raw) in src.iter(rows).enumerate() {
+                    out(keyify(raw), (base + local) as u32);
+                }
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, src.decode_items(rows));
+                profile.dram_read += ByteCount::new(src.stream_bytes(rows, rows));
+            } else {
+                let hits = hits.expect("not full implies a hit list");
+                let n = hits.len();
+                if n * 8 < rows {
+                    // Sparse survivors: compressed random access.
+                    for &p in hits {
+                        out(keyify(src.get(p as usize - base)), p);
+                    }
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, src.decode_items(n));
+                    profile.dram_read += ByteCount::new(src.decode_items(n) * 8);
+                } else {
+                    // Dense survivors: stream-decode up to the last hit.
+                    let mut hi = 0;
+                    for (local, raw) in src.iter(rows).enumerate() {
+                        if hi == n {
+                            break;
+                        }
+                        if hits[hi] as usize - base == local {
+                            out(keyify(raw), hits[hi]);
+                            hi += 1;
+                        }
+                    }
+                    let streamed = hits.last().map_or(0, |&p| p as usize - base + 1);
+                    profile.cpu_cycles +=
+                        self.costs.cycles_for(Kernel::CompressDecode, src.decode_items(streamed));
+                    profile.dram_read += ByteCount::new(src.stream_bytes(streamed, rows));
+                }
+            }
+        } else {
+            let (start, end) = delta_chunk(t, u - nsegs);
+            let base = t.main_rows();
+            let (key_at, width): (Box<dyn Fn(usize) -> i64 + '_>, u64) = match key {
+                KeyCol::Int(idx) => {
+                    let vals = t
+                        .delta_column(*idx)
+                        .and_then(Column::as_int64)
+                        .expect("join key validated as integer column");
+                    (Box::new(move |local| vals[local]), 8)
+                }
+                KeyCol::Str { col, delta_map, .. } => {
+                    let codes = t
+                        .delta_column(*col)
+                        .and_then(Column::as_str)
+                        .expect("join key validated as string column")
+                        .codes();
+                    (Box::new(move |local| delta_map[codes[local] as usize]), 4)
+                }
+            };
+            let mut push = |local: usize| out(key_at(local), (base + local) as u32);
+            let inspected = match hits {
+                None => {
+                    (start..end).for_each(&mut push);
+                    (end - start) as u64
+                }
+                Some(h) => {
+                    h.iter().for_each(|&p| push(p as usize - base));
+                    h.len() as u64
+                }
+            };
+            profile.dram_read += ByteCount::new(inspected * width);
+        }
+        profile
     }
 
     /// Evaluates all predicates over every segment plus the delta tail,
@@ -952,25 +1666,7 @@ impl Database {
         positions: Option<&[u32]>,
     ) -> (AggAcc, ResourceProfile) {
         let nsegs = t.segments().len();
-        let units = nsegs + t.delta_rows().div_ceil(crate::segment::SEGMENT_ROWS);
-        // Split the ascending global position list into per-unit slices.
-        let unit_hits: Option<Vec<&[u32]>> = positions.map(|pos| {
-            let mut out = Vec::with_capacity(units);
-            let mut i = 0;
-            for u in 0..units {
-                let end_row = if u < nsegs {
-                    t.segment_base(u) + t.segments()[u].rows()
-                } else {
-                    t.main_rows() + delta_chunk(t, u - nsegs).1
-                };
-                let from = i;
-                while i < pos.len() && (pos[i] as usize) < end_row {
-                    i += 1;
-                }
-                out.push(&pos[from..i]);
-            }
-            out
-        });
+        let unit_hits = split_unit_hits(t, positions);
         let parts = self.eval_units(t, |u| {
             let hits = unit_hits.as_ref().map(|v| v[u]);
             if hits.is_some_and(<[u32]>::is_empty) {
@@ -1016,95 +1712,60 @@ impl Database {
         // COUNT never needs the values — only how many rows survive.
         let vsrc = if spec.kind == AggKind::Count { SegSource::Const(0) } else { vsrc };
         let Some(g) = spec.group else {
-            let mut st = AggState::empty();
-            if full {
-                match (spec.kind, vsrc, seg.zone(spec.vidx)) {
-                    // Sentinel column: `rows` copies of 0, no data exists.
-                    (_, SegSource::Const(v), _) if spec.kind != AggKind::Count => {
-                        st.update_repeated(v, rows);
-                    }
-                    // Zone-answered: zero column bytes touched.
-                    (AggKind::Count, _, _) => {
-                        st.count = rows as u64;
-                        profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
-                    }
-                    (AggKind::Min | AggKind::Max, _, Some((lo, hi))) => {
-                        st.count = rows as u64;
-                        st.min = lo;
-                        st.max = hi;
-                        profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
-                    }
-                    (_, SegSource::Enc(EncodedInts::Rle(r)), _) => {
-                        // SUM/AVG on RLE: one multiply per run.
-                        for run in r.runs() {
-                            st.update_repeated(run.value, run.len);
-                        }
-                        let items = r.runs().len() as u64;
-                        profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, items)
-                            + self.costs.cycles_for(Kernel::AggUpdate, items);
-                        profile.dram_read += ByteCount::new(vsrc.stream_bytes(rows, rows));
-                    }
-                    (_, SegSource::Enc(data), _) => {
-                        for v in data.iter() {
-                            st.update(v);
-                        }
-                        profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, rows as u64)
-                            + self.costs.cycles_for(Kernel::AggUpdate, rows as u64);
-                        profile.dram_read += ByteCount::new(vsrc.stream_bytes(rows, rows));
-                    }
-                    (_, SegSource::Const(_), _) => unreachable!("count handled above"),
-                }
-            } else {
-                let hits = hits.expect("not full implies a hit list");
-                if spec.kind == AggKind::Count {
-                    st.count = hits.len() as u64;
-                    profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
-                } else if hits.len() * 8 < rows {
-                    // Sparse survivors: compressed random access.
-                    for &p in hits {
-                        st.update(vsrc.get(p as usize - base));
-                    }
-                    let n = hits.len();
-                    profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, vsrc.decode_items(n))
-                        + self.costs.cycles_for(Kernel::AggUpdate, n as u64);
-                    profile.dram_read += ByteCount::new(vsrc.decode_items(n) * 8);
-                } else {
-                    // Dense survivors: stream-decode up to the last hit.
-                    let mut hi = 0;
-                    for (local, v) in vsrc.iter(rows).enumerate() {
-                        if hi == hits.len() {
-                            break;
-                        }
-                        if hits[hi] as usize - base == local {
-                            st.update(v);
-                            hi += 1;
-                        }
-                    }
-                    let streamed = hits.last().map_or(0, |&p| p as usize - base + 1);
-                    profile.cpu_cycles +=
-                        self.costs.cycles_for(Kernel::CompressDecode, vsrc.decode_items(streamed))
-                            + self.costs.cycles_for(Kernel::AggUpdate, hits.len() as u64);
-                    profile.dram_read += ByteCount::new(vsrc.stream_bytes(streamed, rows));
-                }
-            }
+            let (st, fp) = self.fold_segment_values(seg, base, spec.kind, spec.vidx, vsrc, hits);
+            profile += fp;
             return (AggAcc::Global(st), profile);
         };
         // Grouped: stream keys and values together into per-group states.
-        let gsrc = match g {
-            GroupCol::Int(gidx) => match seg.column(*gidx) {
-                Some(SegColumn::Int { data, .. }) => SegSource::Enc(data),
-                None => SegSource::Const(0),
-                Some(_) => unreachable!("group key validated as integer column"),
-            },
-            GroupCol::Str { col, sentinel_key, .. } => match seg.column(*col) {
-                // Segment codes index the table-global dictionary, which
-                // is exactly the unified key space.
-                Some(SegColumn::Str { codes, .. }) => SegSource::Enc(codes),
-                None => SegSource::Const(*sentinel_key),
-                Some(_) => unreachable!("group key validated as string column"),
+        let (gsrc, gcol_idx) = match g {
+            GroupCol::Int(gidx) => (
+                match seg.column(*gidx) {
+                    Some(SegColumn::Int { data, .. }) => SegSource::Enc(data),
+                    None => SegSource::Const(0),
+                    Some(_) => unreachable!("group key validated as integer column"),
+                },
+                *gidx,
+            ),
+            GroupCol::Str { col, sentinel_key, .. } => (
+                match seg.column(*col) {
+                    // Segment codes index the table-global dictionary,
+                    // which is exactly the unified key space.
+                    Some(SegColumn::Str { codes, .. }) => SegSource::Enc(codes),
+                    None => SegSource::Const(*sentinel_key),
+                    Some(_) => unreachable!("group key validated as string column"),
+                },
+                *col,
+            ),
+        };
+        // Zone-map-aware shortcut: a collapsed key zone means every row
+        // of this segment belongs to one group — fold the values like a
+        // global aggregate (zone-answered fast paths included) and skip
+        // the per-row key decode and hashing entirely: zero key-column
+        // bytes touched.
+        let single_key = match gsrc {
+            SegSource::Const(v) => Some(v),
+            SegSource::Enc(_) => match seg.zone(gcol_idx) {
+                Some((lo, hi)) if lo == hi => Some(lo),
+                _ => None,
             },
         };
-        let mut map: HashMap<i64, AggState> = HashMap::new();
+        if let Some(k) = single_key {
+            let (st, fp) = self.fold_segment_values(seg, base, spec.kind, spec.vidx, vsrc, hits);
+            profile += fp;
+            let mut map = HashMap::with_capacity(1);
+            map.insert(k, st);
+            return (AggAcc::Grouped(map), profile);
+        }
+        // Pre-size the per-segment group hash from measured statistics:
+        // the exact NDV recorded at merge time for integer keys, the
+        // code-zone span for string keys — no rehashing mid-fold.
+        let ndv_hint = match g {
+            GroupCol::Int(_) => seg.ndv(gcol_idx).unwrap_or(1),
+            GroupCol::Str { .. } => {
+                seg.zone(gcol_idx).map_or(1, |(lo, hi)| (hi - lo + 1).max(1).unsigned_abs())
+            }
+        };
+        let mut map: HashMap<i64, AggState> = HashMap::with_capacity(ndv_hint.min(rows as u64) as usize);
         if full {
             for (k, v) in gsrc.iter(rows).zip(vsrc.iter(rows)) {
                 map.entry(k).or_default().update(v);
@@ -1152,6 +1813,97 @@ impl Database {
             }
         }
         (AggAcc::Grouped(map), profile)
+    }
+
+    /// Folds one main segment's value column into a single
+    /// [`AggState`], zone-answered fast paths included — shared by the
+    /// global-aggregate path and by grouped aggregates over segments
+    /// whose group-key zone collapses to one value (which therefore
+    /// need no per-row hashing and no key bytes at all).
+    fn fold_segment_values(
+        &self,
+        seg: &Segment,
+        base: usize,
+        kind: AggKind,
+        vidx: usize,
+        vsrc: SegSource<'_>,
+        hits: Option<&[u32]>,
+    ) -> (AggState, ResourceProfile) {
+        let rows = seg.rows();
+        let mut profile = ResourceProfile::default();
+        let mut st = AggState::empty();
+        // A hit list covering every row is the tautology case.
+        if hits.is_none_or(|h| h.len() == rows) {
+            match (kind, vsrc, seg.zone(vidx)) {
+                // Sentinel column: `rows` copies of 0, no data exists.
+                (_, SegSource::Const(v), _) if kind != AggKind::Count => {
+                    st.update_repeated(v, rows);
+                }
+                // Zone-answered: zero column bytes touched.
+                (AggKind::Count, _, _) => {
+                    st.count = rows as u64;
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
+                }
+                (AggKind::Min | AggKind::Max, _, Some((lo, hi))) => {
+                    st.count = rows as u64;
+                    st.min = lo;
+                    st.max = hi;
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
+                }
+                (_, SegSource::Enc(EncodedInts::Rle(r)), _) => {
+                    // SUM/AVG on RLE: one multiply per run.
+                    for run in r.runs() {
+                        st.update_repeated(run.value, run.len);
+                    }
+                    let items = r.runs().len() as u64;
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, items)
+                        + self.costs.cycles_for(Kernel::AggUpdate, items);
+                    profile.dram_read += ByteCount::new(vsrc.stream_bytes(rows, rows));
+                }
+                (_, SegSource::Enc(data), _) => {
+                    for v in data.iter() {
+                        st.update(v);
+                    }
+                    profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, rows as u64)
+                        + self.costs.cycles_for(Kernel::AggUpdate, rows as u64);
+                    profile.dram_read += ByteCount::new(vsrc.stream_bytes(rows, rows));
+                }
+                (_, SegSource::Const(_), _) => unreachable!("count handled above"),
+            }
+        } else {
+            let hits = hits.expect("not full implies a hit list");
+            if kind == AggKind::Count {
+                st.count = hits.len() as u64;
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
+            } else if hits.len() * 8 < rows {
+                // Sparse survivors: compressed random access.
+                for &p in hits {
+                    st.update(vsrc.get(p as usize - base));
+                }
+                let n = hits.len();
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, vsrc.decode_items(n))
+                    + self.costs.cycles_for(Kernel::AggUpdate, n as u64);
+                profile.dram_read += ByteCount::new(vsrc.decode_items(n) * 8);
+            } else {
+                // Dense survivors: stream-decode up to the last hit.
+                let mut hi = 0;
+                for (local, v) in vsrc.iter(rows).enumerate() {
+                    if hi == hits.len() {
+                        break;
+                    }
+                    if hits[hi] as usize - base == local {
+                        st.update(v);
+                        hi += 1;
+                    }
+                }
+                let streamed = hits.last().map_or(0, |&p| p as usize - base + 1);
+                profile.cpu_cycles +=
+                    self.costs.cycles_for(Kernel::CompressDecode, vsrc.decode_items(streamed))
+                        + self.costs.cycles_for(Kernel::AggUpdate, hits.len() as u64);
+                profile.dram_read += ByteCount::new(vsrc.stream_bytes(streamed, rows));
+            }
+        }
+        (st, profile)
     }
 
     /// Partial aggregate over delta rows `[start, end)`: the flat tail
@@ -1247,6 +1999,84 @@ impl Default for Database {
 fn delta_chunk(t: &Table, c: usize) -> (usize, usize) {
     let start = c * crate::segment::SEGMENT_ROWS;
     (start, (start + crate::segment::SEGMENT_ROWS).min(t.delta_rows()))
+}
+
+/// Splits an ascending global-position list into per-unit slices — one
+/// per main segment, then one per delta chunk — so aggregation pushdown
+/// and join-key extraction hand each execution unit exactly its hits.
+fn split_unit_hits<'p>(t: &Table, positions: Option<&'p [u32]>) -> Option<Vec<&'p [u32]>> {
+    positions.map(|pos| {
+        let nsegs = t.segments().len();
+        let units = nsegs + t.delta_rows().div_ceil(crate::segment::SEGMENT_ROWS);
+        let mut out = Vec::with_capacity(units);
+        let mut i = 0;
+        for u in 0..units {
+            let end_row = if u < nsegs {
+                t.segment_base(u) + t.segments()[u].rows()
+            } else {
+                t.main_rows() + delta_chunk(t, u - nsegs).1
+            };
+            let from = i;
+            while i < pos.len() && (pos[i] as usize) < end_row {
+                i += 1;
+            }
+            out.push(&pos[from..i]);
+        }
+        out
+    })
+}
+
+/// Resolves a join's output columns as `(is_left, output name, source
+/// column)` triples: with no projection, every left column under its
+/// own name then every right column as `"table.column"`; with a
+/// projection, each name resolves qualified-first on either side, then
+/// bare against the left schema, then the right.
+fn resolve_join_outputs(
+    query: &Query,
+    jc: &JoinClause,
+    lt: &Table,
+    rt: &Table,
+) -> DbResult<Vec<(bool, String, String)>> {
+    match &query.select {
+        None => {
+            let mut out: Vec<(bool, String, String)> =
+                lt.schema().columns().iter().map(|(n, _)| (true, n.clone(), n.clone())).collect();
+            out.extend(
+                rt.schema().columns().iter().map(|(n, _)| (false, format!("{}.{}", jc.table, n), n.clone())),
+            );
+            Ok(out)
+        }
+        Some(sel) => sel
+            .iter()
+            .map(|name| {
+                // In a self-join the default projection labels the RIGHT
+                // side `"table.column"`, so a qualified name must keep
+                // meaning the right side there; bare names stay left.
+                if query.table != jc.table {
+                    if let Some(rest) = name.strip_prefix(&format!("{}.", query.table)) {
+                        if lt.schema().position(rest).is_some() {
+                            return Ok((true, name.clone(), rest.to_string()));
+                        }
+                    }
+                }
+                if let Some(rest) = name.strip_prefix(&format!("{}.", jc.table)) {
+                    if rt.schema().position(rest).is_some() {
+                        return Ok((false, name.clone(), rest.to_string()));
+                    }
+                }
+                if lt.schema().position(name).is_some() {
+                    return Ok((true, name.clone(), name.clone()));
+                }
+                if rt.schema().position(name).is_some() {
+                    return Ok((false, name.clone(), name.clone()));
+                }
+                Err(DbError::NoSuchColumn {
+                    table: format!("{} join {}", query.table, jc.table),
+                    column: name.clone(),
+                })
+            })
+            .collect(),
+    }
 }
 
 /// ANDs `m` into the accumulator (first predicate just installs it).
@@ -1806,6 +2636,381 @@ mod tests {
         db.insert("t", &Record::new().with("s", "x".repeat(10_000).as_str())).unwrap();
         let long = db.meter().grand_total().joules() - short;
         assert!(long > short, "a 10 KB string must cost more to ingest than one byte");
+    }
+
+    /// A two-table schema for join tests: a small dimension table and a
+    /// larger fact table, with both int and string join keys.
+    fn join_dbs(users: i64, orders: i64) -> Database {
+        let mut db = Database::new();
+        db.create_table("users", &[("uid", DataType::Int64), ("country", DataType::Str)]).unwrap();
+        db.create_table(
+            "orders",
+            &[("user_id", DataType::Int64), ("amount", DataType::Int64), ("country", DataType::Str)],
+        )
+        .unwrap();
+        let countries = ["de", "us", "fr", "jp"];
+        for i in 0..users {
+            db.insert(
+                "users",
+                &Record::new().with("uid", i).with("country", countries[i as usize % countries.len()]),
+            )
+            .unwrap();
+        }
+        for i in 0..orders {
+            db.insert(
+                "orders",
+                &Record::new()
+                    .with("user_id", i % (users * 2).max(1)) // half the orders dangle
+                    .with("amount", i * 3)
+                    .with("country", countries[(i as usize / 2) % countries.len()]),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn join_int_keys_matches_nested_loop_across_layouts() {
+        let q = Query::scan("orders")
+            .join("users", "user_id", "uid")
+            .filter("amount", CmpOp::Lt, 120)
+            .select(["user_id", "amount", "users.country"]);
+        let reference: Vec<(i64, i64, &str)> = (0..100i64)
+            .map(|i| (i % 80, i * 3))
+            .filter(|&(_, amt)| amt < 120)
+            .filter(|&(uid, _)| uid < 40)
+            .map(|(uid, amt)| (uid, amt, ["de", "us", "fr", "jp"][uid as usize % 4]))
+            .collect();
+        // Flat, fully merged, and mixed main/delta on both tables.
+        for stage in 0..3 {
+            let mut db = join_dbs(40, 100);
+            if stage >= 1 {
+                db.merge("users").unwrap();
+                db.merge("orders").unwrap();
+            }
+            if stage == 2 {
+                db.insert(
+                    "orders",
+                    &Record::new().with("user_id", 5i64).with("amount", 7i64).with("country", "de"),
+                )
+                .unwrap();
+            }
+            let out = db.execute(&q).unwrap();
+            let mut got: Vec<(i64, i64, Value)> = (0..out.rows.rows())
+                .map(|r| {
+                    let row = out.rows.row(r).unwrap();
+                    (row[0].as_int().unwrap(), row[1].as_int().unwrap(), row[2].clone())
+                })
+                .collect();
+            let mut want: Vec<(i64, i64, Value)> =
+                reference.iter().map(|&(u, a, c)| (u, a, Value::Str(c.to_string()))).collect();
+            if stage == 2 {
+                want.push((5, 7, Value::Str("us".into()))); // uid 5 % 4 = 1 → "us"
+            }
+            let key = |v: &(i64, i64, Value)| (v.0, v.1, format!("{:?}", v.2));
+            got.sort_by_key(key);
+            want.sort_by_key(key);
+            assert_eq!(got, want, "stage {stage}");
+            assert!(out.energy.joules() > 0.0);
+        }
+    }
+
+    #[test]
+    fn join_string_keys_code_to_code() {
+        // Join on the string column: codes remap across the two tables'
+        // dictionaries (interned in different orders), including values
+        // fresh in one side's delta.
+        let mut db = join_dbs(8, 40);
+        db.merge("users").unwrap();
+        db.merge("orders").unwrap();
+        // Fresh post-merge values on both sides: "br" only joins via the
+        // delta-fresh key space; "zz" must join with nothing.
+        db.insert("users", &Record::new().with("uid", 100i64).with("country", "br")).unwrap();
+        db.insert("orders", &Record::new().with("user_id", 0i64).with("amount", 1i64).with("country", "br"))
+            .unwrap();
+        db.insert("orders", &Record::new().with("user_id", 0i64).with("amount", 2i64).with("country", "zz"))
+            .unwrap();
+        let q = Query::scan("users").join("orders", "country", "country").select(["uid", "orders.amount"]);
+        let out = db.execute(&q).unwrap();
+        // Reference nested loop over the decoded tables.
+        let users = db.table("users").unwrap().to_chunk();
+        let orders = db.table("orders").unwrap().to_chunk();
+        let mut want = Vec::new();
+        for u in 0..users.rows() {
+            for o in 0..orders.rows() {
+                if users.row(u).unwrap()[1] == orders.row(o).unwrap()[2] {
+                    want.push((
+                        users.row(u).unwrap()[0].as_int().unwrap(),
+                        orders.row(o).unwrap()[1].as_int().unwrap(),
+                    ));
+                }
+            }
+        }
+        let mut got: Vec<(i64, i64)> = (0..out.rows.rows())
+            .map(|r| {
+                let row = out.rows.row(r).unwrap();
+                (row[0].as_int().unwrap(), row[1].as_int().unwrap())
+            })
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert!(want.iter().any(|&(u, _)| u == 100), "delta-fresh key must join");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn join_on_compressed_segments_never_decodes_keys() {
+        // The acceptance criterion: joining two merged tables must not
+        // decode the key columns — the billed DRAM traffic stays below
+        // what the flat 8 B/row keys alone would cost.
+        let rows = 2 * SEGMENT_ROWS as i64;
+        let dim = 1024i64;
+        let mut db = Database::new();
+        db.create_table("d", &[("k", DataType::Int64), ("tag", DataType::Str)]).unwrap();
+        db.create_table("f", &[("fk", DataType::Int64), ("v", DataType::Int64)]).unwrap();
+        db.set_merge_threshold("d", usize::MAX).unwrap();
+        db.set_merge_threshold("f", usize::MAX).unwrap();
+        for i in 0..dim {
+            db.insert("d", &Record::new().with("k", i).with("tag", if i % 2 == 0 { "a" } else { "b" }))
+                .unwrap();
+        }
+        for i in 0..rows {
+            db.insert("f", &Record::new().with("fk", i % dim).with("v", i)).unwrap();
+        }
+        db.merge("d").unwrap();
+        db.merge("f").unwrap();
+        let q = Query::scan("f")
+            .join("d", "fk", "k")
+            .filter("v", CmpOp::Lt, 64) // keep the gather small
+            .select(["fk", "v", "d.tag"]);
+        let out = db.execute(&q).unwrap();
+        assert_eq!(out.rows.rows(), 64);
+        let flat_key_bytes = ((rows + dim) * 8) as u64;
+        assert!(
+            out.profile.dram_read.bytes() < flat_key_bytes,
+            "join billed {} B but flat keys alone would be {} B — keys were decoded",
+            out.profile.dram_read.bytes(),
+            flat_key_bytes
+        );
+        assert!(out.profile.cpu_cycles.count() > 0);
+    }
+
+    #[test]
+    fn join_zone_pruning_skips_probe_segments() {
+        // Sorted fact keys split over 4 segments; a dimension covering
+        // only the first quarter must leave 3 probe segments untouched,
+        // which shows up directly in the bytes billed.
+        let mk = |dim_hi: i64| {
+            let mut db = Database::new();
+            db.create_table("d", &[("k", DataType::Int64)]).unwrap();
+            db.create_table("f", &[("fk", DataType::Int64), ("v", DataType::Int64)]).unwrap();
+            db.set_merge_threshold("d", usize::MAX).unwrap();
+            db.set_merge_threshold("f", usize::MAX).unwrap();
+            for i in 0..dim_hi {
+                db.insert("d", &Record::new().with("k", i * 97)).unwrap();
+            }
+            db.merge("d").unwrap();
+            for i in 0..1000i64 {
+                db.insert("f", &Record::new().with("fk", i).with("v", i)).unwrap();
+                if (i + 1) % 250 == 0 {
+                    db.merge("f").unwrap();
+                }
+            }
+            db
+        };
+        let q = Query::scan("f").join("d", "fk", "k").select(["fk"]);
+        let mut narrow = mk(2); // keys {0, 97}: only segment 1 of f can match
+        let mut broad = mk(11); // keys up to 970: every segment survives
+        let n = narrow.execute(&q).unwrap();
+        let b = broad.execute(&q).unwrap();
+        assert_eq!(n.rows.rows(), 2);
+        assert_eq!(b.rows.rows(), 11);
+        assert!(
+            n.profile.dram_read.bytes() < b.profile.dram_read.bytes(),
+            "pruned probe ({} B) must read less than the broad one ({} B)",
+            n.profile.dram_read.bytes(),
+            b.profile.dram_read.bytes()
+        );
+        assert!(n.energy.joules() < b.energy.joules());
+    }
+
+    #[test]
+    fn join_with_filters_on_both_sides_and_self_join() {
+        let mut db = join_dbs(40, 100);
+        db.merge("users").unwrap();
+        let out = db
+            .execute(
+                &Query::scan("orders")
+                    .join("users", "user_id", "uid")
+                    .filter("amount", CmpOp::Lt, 150)
+                    .join_filter("uid", CmpOp::Lt, 10)
+                    .join_filter_str_ne("country", "us")
+                    .select(["user_id", "users.country"]),
+            )
+            .unwrap();
+        let want = (0..50i64) // amount = i*3 < 150
+            .map(|i| i % 80)
+            .filter(|&u| u < 10 && u % 4 != 1)
+            .count();
+        assert_eq!(out.rows.rows(), want);
+        // Self-join: every user pairs with the users sharing its
+        // country; the default projection keeps both sides' columns
+        // apart (left bare, right prefixed).
+        let selfj = db.execute(&Query::scan("users").join("users", "country", "country")).unwrap();
+        assert_eq!(selfj.rows.rows(), 40 * 10, "40 users, 10 per country");
+        assert_eq!(
+            selfj.rows.names(),
+            vec!["uid", "country", "users.uid", "users.country"],
+            "self-join output columns stay distinguishable"
+        );
+        // Empty sides: a filter matching nothing yields an empty, well-
+        // shaped result.
+        let empty = db
+            .execute(&Query::scan("orders").join("users", "user_id", "uid").filter("amount", CmpOp::Lt, -1))
+            .unwrap();
+        assert_eq!(empty.rows.rows(), 0);
+        assert_eq!(empty.rows.width(), 5, "all left + prefixed right columns");
+    }
+
+    #[test]
+    fn join_extreme_int_keys_survive() {
+        // i64::MIN is a legitimate integer join key, not the string
+        // NO_KEY sentinel — it must join on every storage layout.
+        for merged in [false, true] {
+            let mut db = Database::new();
+            db.create_table("a", &[("k", DataType::Int64), ("v", DataType::Int64)]).unwrap();
+            db.create_table("b", &[("k", DataType::Int64), ("w", DataType::Int64)]).unwrap();
+            for (k, v) in [(i64::MIN, 1i64), (-1, 2), (0, 3), (i64::MAX, 4)] {
+                db.insert("a", &Record::new().with("k", k).with("v", v)).unwrap();
+            }
+            for (k, w) in [(i64::MAX, 10i64), (i64::MIN, 20)] {
+                db.insert("b", &Record::new().with("k", k).with("w", w)).unwrap();
+            }
+            if merged {
+                db.merge("a").unwrap();
+                db.merge("b").unwrap();
+            }
+            let out = db.execute(&Query::scan("a").join("b", "k", "k").select(["v", "b.w"])).unwrap();
+            let mut got: Vec<(i64, i64)> = (0..out.rows.rows())
+                .map(|r| {
+                    let row = out.rows.row(r).unwrap();
+                    (row[0].as_int().unwrap(), row[1].as_int().unwrap())
+                })
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![(1, 20), (4, 10)], "merged={merged}");
+        }
+    }
+
+    #[test]
+    fn self_join_qualified_select_means_right_side() {
+        // Employee → boss self-join: "u.uid" must name the RIGHT
+        // occurrence (the boss), exactly as the default projection
+        // labels it.
+        let mut db = Database::new();
+        db.create_table("u", &[("uid", DataType::Int64), ("boss", DataType::Int64)]).unwrap();
+        db.insert("u", &Record::new().with("uid", 1i64).with("boss", 2i64)).unwrap();
+        db.insert("u", &Record::new().with("uid", 2i64).with("boss", 2i64)).unwrap();
+        let out = db
+            .execute(
+                &Query::scan("u")
+                    .join("u", "boss", "uid")
+                    .filter("uid", CmpOp::Eq, 1)
+                    .select(["uid", "u.uid"]),
+            )
+            .unwrap();
+        assert_eq!(out.rows.rows(), 1);
+        let row = out.rows.row(0).unwrap();
+        assert_eq!(row[0].as_int(), Some(1), "bare name = left side (the employee)");
+        assert_eq!(row[1].as_int(), Some(2), "qualified name = right side (the boss)");
+    }
+
+    #[test]
+    fn join_goal_and_algorithms_agree() {
+        // MinEnergy may pick a different algorithm; answers must not
+        // change.
+        let q = Query::scan("orders").join("users", "user_id", "uid").select(["amount"]);
+        let mut a = join_dbs(30, 500);
+        let mut b = join_dbs(30, 500);
+        b.set_goal(Goal::MinEnergy);
+        let ra = a.execute(&q).unwrap();
+        let rb = b.execute(&q).unwrap();
+        let sorted = |r: &QueryResult| {
+            let mut v: Vec<i64> =
+                (0..r.rows.rows()).map(|i| r.rows.row(i).unwrap()[0].as_int().unwrap()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&ra), sorted(&rb));
+    }
+
+    #[test]
+    #[should_panic(expected = "only one join stage")]
+    fn second_join_stage_is_rejected() {
+        let _ = Query::scan("a").join("b", "k", "k").join("c", "k", "k");
+    }
+
+    #[test]
+    fn join_error_paths() {
+        let mut db = join_dbs(4, 8);
+        assert!(matches!(
+            db.execute(&Query::scan("orders").join("nope", "user_id", "uid")),
+            Err(DbError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            db.execute(&Query::scan("orders").join("users", "ghost", "uid")),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+        assert!(matches!(
+            db.execute(&Query::scan("orders").join("users", "user_id", "country")),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.execute(
+                &Query::scan("orders").join("users", "user_id", "uid").aggregate(AggKind::Sum, "amount")
+            ),
+            Err(DbError::BadQuery(_))
+        ));
+        assert!(matches!(
+            db.execute(&Query::scan("orders").join("users", "user_id", "uid").select(["ghost"])),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn grouped_pushdown_skips_hashing_on_collapsed_zones() {
+        // Group key constant within every segment (sorted inserts): the
+        // pushdown folds each segment into a single state without
+        // reading the key column at all — the billed traffic stays at
+        // the value column's encoded bytes.
+        let mut db = Database::new();
+        db.create_table("t", &[("g", DataType::Int64), ("v", DataType::Int64)]).unwrap();
+        db.set_merge_threshold("t", usize::MAX).unwrap();
+        let per = SEGMENT_ROWS as i64;
+        for i in 0..2 * per {
+            db.insert("t", &Record::new().with("g", i / per).with("v", (i % per) % 1000)).unwrap();
+        }
+        db.merge("t").unwrap();
+        let out = db.execute(&Query::scan("t").group_by("g").aggregate(AggKind::Sum, "v")).unwrap();
+        assert_eq!(out.rows.rows(), 2);
+        for r in 0..2 {
+            let g = out.rows.row(r).unwrap()[0].as_int().unwrap();
+            let want: i64 = (0..per).map(|i| i % 1000).sum();
+            assert_eq!(out.rows.row(r).unwrap()[1].as_float(), Some(want as f64), "group {g}");
+        }
+        let t = db.table("t").unwrap();
+        let value_bytes = t.column_encoded_bytes("v").unwrap() as u64;
+        let key_bytes = t.column_encoded_bytes("g").unwrap() as u64;
+        assert!(key_bytes > 0);
+        assert!(
+            out.profile.dram_read.bytes() <= value_bytes,
+            "collapsed-zone group-by billed {} B; value column is {} B — key bytes were read",
+            out.profile.dram_read.bytes(),
+            value_bytes
+        );
+        // MIN with collapsed zones is answered entirely from metadata.
+        let min = db.execute(&Query::scan("t").group_by("g").aggregate(AggKind::Min, "v")).unwrap();
+        assert_eq!(min.profile.dram_read.bytes(), 0, "zone-answered grouped MIN reads no bytes");
     }
 
     #[test]

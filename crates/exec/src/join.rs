@@ -42,6 +42,25 @@ impl HashJoin {
         HashJoin { table, build_rows: keys.len() }
     }
 
+    /// Builds from `(key, row id)` pairs — the streaming entry point for
+    /// callers that extract keys from compressed segments (dictionary
+    /// codes, encoded ints) without materializing a flat key column. Row
+    /// ids are the caller's own (e.g. global table rows), not positions
+    /// in a slice.
+    pub fn from_pairs(pairs: &[(i64, u32)]) -> Self {
+        let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(pairs.len());
+        for &(k, row) in pairs {
+            table.entry(k).or_default().push(row);
+        }
+        HashJoin { table, build_rows: pairs.len() }
+    }
+
+    /// The build rows matching `key` (`None` on a miss) — the streaming
+    /// probe primitive for callers that probe key-by-key as they decode.
+    pub fn matches(&self, key: i64) -> Option<&[u32]> {
+        self.table.get(&key).map(Vec::as_slice)
+    }
+
     /// Number of rows on the build side.
     pub fn build_rows(&self) -> usize {
         self.build_rows
@@ -55,7 +74,10 @@ impl HashJoin {
     /// Probes with `keys`, returning `(build_row, probe_row)` pairs in
     /// probe order.
     pub fn probe(&self, keys: &[i64]) -> Vec<(u32, u32)> {
-        let mut out = Vec::new();
+        // Reserve for the common ~1 match/probe (FK join) shape so the
+        // output vector doesn't double-write its way up; the metered
+        // wrapper bills the writes on this assumption.
+        let mut out = Vec::with_capacity(keys.len());
         for (j, k) in keys.iter().enumerate() {
             if let Some(rows) = self.table.get(k) {
                 for &i in rows {
@@ -84,15 +106,26 @@ pub fn hash_join_metered(
     let wall = start.elapsed();
     let b = build_keys.len() as u64;
     let p = probe_keys.len() as u64;
+    let hits = pairs.len() as u64;
     let profile = ResourceProfile {
         cpu_cycles: costs.cycles_for(Kernel::HashBuild, b) + costs.cycles_for(Kernel::HashProbe, p),
-        dram_read: ByteCount::new((b + p) * 8),
-        dram_written: ByteCount::new(b * 16 + pairs.len() as u64 * 8),
+        // Probing is not free of table traffic: each probe reads the
+        // keys themselves plus one hash-bucket header, and every hit
+        // walks the bucket's row-id list.
+        dram_read: ByteCount::new((b + p) * 8 + p * HASH_BUCKET_BYTES + hits * 4),
+        // Build-table entries plus the output pairs vector (reserved
+        // upfront in `probe`, so growth doesn't double-write).
+        dram_written: ByteCount::new(b * 16 + hits * 8),
         ..ResourceProfile::default()
     };
-    let stats = OpStats { items_in: b + p, items_out: pairs.len() as u64, profile, wall };
+    let stats = OpStats { items_in: b + p, items_out: hits, profile, wall };
     (pairs, stats)
 }
+
+/// Bytes a hash probe touches per bucket access (header + key slot) —
+/// shared by the metered kernels here and by executors that bill
+/// streaming probes themselves.
+pub const HASH_BUCKET_BYTES: u64 = 16;
 
 /// Sort-merge equi-join: sorts index permutations of both inputs and
 /// merges, returning `(left_row, right_row)` pairs (sorted by key, then
@@ -130,6 +163,39 @@ pub fn sort_merge_join(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
     out
 }
 
+/// Sort-merge equi-join over `(key, row id)` pairs — the streaming
+/// entry point matching [`HashJoin::from_pairs`]: callers extract keys
+/// from compressed segments and join without flat key columns. Both
+/// inputs are sorted in place by `(key, row)`; returns
+/// `(left_row, right_row)` pairs ordered by key, then row ids (cross
+/// product per duplicate-key group).
+pub fn sort_merge_join_pairs(left: &mut [(i64, u32)], right: &mut [(i64, u32)]) -> Vec<(u32, u32)> {
+    left.sort_unstable();
+    right.sort_unstable();
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        let lk = left[i].0;
+        let rk = right[j].0;
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = i + left[i..].iter().take_while(|&&(k, _)| k == lk).count();
+                let j_end = j + right[j..].iter().take_while(|&&(k, _)| k == rk).count();
+                for &(_, l) in &left[i..i_end] {
+                    for &(_, r) in &right[j..j_end] {
+                        out.push((l, r));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
 /// Metered variant of [`sort_merge_join`].
 pub fn sort_merge_join_metered(
     left: &[i64],
@@ -140,14 +206,19 @@ pub fn sort_merge_join_metered(
     let pairs = sort_merge_join(left, right);
     let wall = start.elapsed();
     let n = (left.len() + right.len()) as u64;
+    let hits = pairs.len() as u64;
     let levels = (n.max(2) as f64).log2().ceil() as u64;
     let profile = ResourceProfile {
         cpu_cycles: costs.cycles_for(Kernel::SortPerLevel, n * levels),
-        dram_read: ByteCount::new(n * 8 * levels),
-        dram_written: ByteCount::new(pairs.len() as u64 * 8),
+        // Sort passes re-read both key arrays per level, and the final
+        // merge pass streams both sorted runs once more (the old bill
+        // stopped at the sort, as if merging were free).
+        dram_read: ByteCount::new(n * 8 * levels + n * 8),
+        // The sorted index permutations, plus the output pairs vector.
+        dram_written: ByteCount::new(n * 8 + hits * 8),
         ..ResourceProfile::default()
     };
-    let stats = OpStats { items_in: n, items_out: pairs.len() as u64, profile, wall };
+    let stats = OpStats { items_in: n, items_out: hits, profile, wall };
     (pairs, stats)
 }
 
@@ -232,6 +303,53 @@ mod tests {
         let (pairs2, stats2) = sort_merge_join_metered(&build, &probe, &KernelCosts::default_2013());
         assert_eq!(canonical(pairs2), canonical(pairs));
         assert!(stats2.profile.cpu_cycles.count() > 0);
+    }
+
+    #[test]
+    fn pair_entry_points_match_slice_kernels() {
+        let left: Vec<i64> = (0..120).map(|i| (i * 5) % 17).collect();
+        let right: Vec<i64> = (0..90).map(|i| (i * 11) % 13).collect();
+        let want = canonical(nested_loop(&left, &right));
+        // from_pairs + matches reproduces build+probe.
+        let lp: Vec<(i64, u32)> = left.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let join = HashJoin::from_pairs(&lp);
+        assert_eq!(join.build_rows(), left.len());
+        let mut got = Vec::new();
+        for (j, k) in right.iter().enumerate() {
+            if let Some(rows) = join.matches(*k) {
+                got.extend(rows.iter().map(|&i| (i, j as u32)));
+            }
+        }
+        assert_eq!(canonical(got), want);
+        assert!(join.matches(i64::MAX).is_none());
+        // sort_merge_join_pairs agrees too, with shifted row ids.
+        let mut lp: Vec<(i64, u32)> = left.iter().enumerate().map(|(i, &k)| (k, i as u32 + 7)).collect();
+        let mut rp: Vec<(i64, u32)> = right.iter().enumerate().map(|(j, &k)| (k, j as u32 + 3)).collect();
+        let got = sort_merge_join_pairs(&mut lp, &mut rp);
+        let shifted: Vec<(u32, u32)> = want.iter().map(|&(l, r)| (l + 7, r + 3)).collect();
+        assert_eq!(canonical(got), canonical(shifted));
+        assert!(sort_merge_join_pairs(&mut [], &mut [(1, 0)]).is_empty());
+    }
+
+    #[test]
+    fn metered_probe_bills_bucket_traffic() {
+        // Every probe hits: the probe side must be billed more than the
+        // bare keys (bucket headers + hit row-id reads), and the output
+        // pairs must be billed as writes.
+        let costs = KernelCosts::default_2013();
+        let build: Vec<i64> = (0..1000).collect();
+        let (hit_pairs, hit) = hash_join_metered(&build, &build, &costs);
+        let miss_probe: Vec<i64> = (10_000..11_000).collect();
+        let (miss_pairs, miss) = hash_join_metered(&build, &miss_probe, &costs);
+        assert_eq!(hit_pairs.len(), 1000);
+        assert!(miss_pairs.is_empty());
+        // Same build and probe cardinality, but hits read bucket lists
+        // and write pairs the all-miss probe never touches.
+        assert!(hit.profile.dram_read.bytes() > miss.profile.dram_read.bytes());
+        assert!(hit.profile.dram_written.bytes() > miss.profile.dram_written.bytes());
+        // And even the all-miss probe pays bucket headers beyond p*8.
+        let n = (build.len() + miss_probe.len()) as u64;
+        assert!(miss.profile.dram_read.bytes() > n * 8);
     }
 
     #[test]

@@ -81,6 +81,15 @@ pub struct ZoneMapMeta {
 }
 
 impl ZoneMapMeta {
+    /// Returns `true` if this zone's `[min, max]` intersects `[lo, hi]`
+    /// — the join-pruning test: a probe segment whose key zone misses
+    /// the build side's key range entirely cannot produce a match, so
+    /// the executor skips it without touching a byte. `lo > hi` (an
+    /// empty range) prunes everything.
+    pub fn overlaps(&self, lo: i64, hi: i64) -> bool {
+        lo <= hi && self.min <= hi && self.max >= lo
+    }
+
     /// Returns `true` if a row matching `value op literal` may exist in
     /// this zone.
     pub fn may_match(&self, op: CmpOp, literal: i64) -> bool {
@@ -104,6 +113,21 @@ pub fn zone_survival(zones: &[ZoneMapMeta], op: CmpOp, literal: i64) -> f64 {
         return 1.0;
     }
     let live: u64 = zones.iter().filter(|z| z.may_match(op, literal)).map(|z| z.rows).sum();
+    live as f64 / total as f64
+}
+
+/// Fraction of rows living in zones whose key range intersects
+/// `[lo, hi]` — the probe-side survival estimate for an equi-join
+/// against a build side whose keys span `[lo, hi]` (1.0 when `zones` is
+/// empty: no statistics, no pruning). This is the zone intersection the
+/// executor's per-segment [`ZoneMapMeta::overlaps`] check realizes, so
+/// the cost model and the runtime can never disagree on what survives.
+pub fn join_zone_overlap(zones: &[ZoneMapMeta], lo: i64, hi: i64) -> f64 {
+    let total: u64 = zones.iter().map(|z| z.rows).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let live: u64 = zones.iter().filter(|z| z.overlaps(lo, hi)).map(|z| z.rows).sum();
     live as f64 / total as f64
 }
 
@@ -265,6 +289,28 @@ mod tests {
         assert!((zone_survival(&zones, CmpOp::Ge, 750_000) - 0.25).abs() < 1e-9);
         assert_eq!(zone_survival(&zones, CmpOp::Lt, 0), 0.0, "nothing below the min");
         assert_eq!(zone_survival(&[], CmpOp::Eq, 1), 1.0, "no stats, no pruning");
+    }
+
+    #[test]
+    fn join_zone_overlap_prunes_probe_segments() {
+        // Four sorted probe segments; a build side spanning only the
+        // first quarter leaves one segment live.
+        let zones: Vec<ZoneMapMeta> =
+            (0..4).map(|i| ZoneMapMeta { rows: 1000, min: i * 1000, max: (i + 1) * 1000 - 1 }).collect();
+        assert!((join_zone_overlap(&zones, 0, 999) - 0.25).abs() < 1e-9);
+        assert!((join_zone_overlap(&zones, 500, 1500) - 0.5).abs() < 1e-9);
+        assert_eq!(join_zone_overlap(&zones, 10_000, 20_000), 0.0);
+        assert_eq!(join_zone_overlap(&zones, 0, 3999), 1.0);
+        // Empty build range (lo > hi) prunes everything; no stats, no
+        // pruning.
+        assert_eq!(join_zone_overlap(&zones, 1, 0), 0.0);
+        assert_eq!(join_zone_overlap(&[], 0, 10), 1.0);
+        // The executor-side primitive agrees at the boundaries.
+        let z = ZoneMapMeta { rows: 1, min: 10, max: 20 };
+        assert!(z.overlaps(20, 30));
+        assert!(z.overlaps(0, 10));
+        assert!(!z.overlaps(21, 30));
+        assert!(!z.overlaps(0, 9));
     }
 
     #[test]

@@ -50,6 +50,52 @@ impl fmt::Display for PlanCost {
     }
 }
 
+/// One side of an equi-join as the cost model sees it: surviving rows,
+/// the **encoded** bytes of its key column, and the fraction of those
+/// that zone pruning (filters + join key intersection) leaves live.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JoinSideCost {
+    /// Rows surviving this side's filters.
+    pub rows: u64,
+    /// Encoded bytes of the join-key column (codes for strings).
+    pub encoded_key_bytes: u64,
+    /// Fraction of rows/bytes in segments surviving zone pruning.
+    pub live_frac: f64,
+}
+
+impl JoinSideCost {
+    fn live_rows(&self) -> u64 {
+        (self.rows as f64 * self.live_frac.clamp(0.0, 1.0)).ceil() as u64
+    }
+
+    fn live_bytes(&self) -> u64 {
+        (self.encoded_key_bytes as f64 * self.live_frac.clamp(0.0, 1.0)).ceil() as u64
+    }
+}
+
+/// The physical join algorithm [`CostModel::join_compressed`] picks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Hash build + probe.
+    Hash,
+    /// Sort both key streams, merge.
+    SortMerge,
+}
+
+/// A costed join plan: which side builds, which algorithm, and both
+/// algorithm costs (so a caller optimizing for energy can re-choose).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JoinDecision {
+    /// `true` if the left side is the (smaller) build side.
+    pub build_left: bool,
+    /// The time-optimal algorithm.
+    pub algo: JoinAlgo,
+    /// Predicted cost of the hash join.
+    pub hash_cost: PlanCost,
+    /// Predicted cost of the sort-merge join.
+    pub merge_cost: PlanCost,
+}
+
 /// The model: a machine, kernel constants and a default execution
 /// context.
 #[derive(Clone, Debug)]
@@ -176,6 +222,50 @@ impl CostModel {
         self.finish(ResourceProfile::scan(cycles, ByteCount::new(bytes)))
     }
 
+    /// Cost of an equi-join executed **on compressed segments**: keys
+    /// stream out of the encoded columns (dictionary codes join
+    /// code-to-code), so DRAM traffic per side is its `encoded_key_bytes`
+    /// scaled by the fraction of segments surviving filters and the
+    /// join-specific zone intersection
+    /// ([`crate::access::join_zone_overlap`]). Picks the build side
+    /// (fewer surviving rows) and costs both algorithms: hash
+    /// (build + probe + bucket traffic) and sort-merge
+    /// (`n log n` sort passes + a merge pass). `algo` is the time-optimal
+    /// pick; callers with an energy goal can re-choose from the two
+    /// costs.
+    pub fn join_compressed(&self, left: &JoinSideCost, right: &JoinSideCost, out_rows: u64) -> JoinDecision {
+        let build_left = left.live_rows() <= right.live_rows();
+        let (build, probe) = if build_left { (left, right) } else { (right, left) };
+        let (b, p) = (build.live_rows(), probe.live_rows());
+        let stream_bytes = build.live_bytes() + probe.live_bytes();
+        let hash_cost = self.finish(ResourceProfile {
+            cpu_cycles: self.costs.cycles_for(Kernel::HashBuild, b)
+                + self.costs.cycles_for(Kernel::HashProbe, p)
+                + self.costs.cycles_for(Kernel::Materialize, out_rows),
+            // Encoded key streams, one bucket header per probe (16 B —
+            // must track `haec_exec::join::HASH_BUCKET_BYTES`, which the
+            // executor bills with; this crate cannot depend on exec),
+            // and the row-id list entries of expected hits.
+            dram_read: ByteCount::new(stream_bytes + p * 16 + out_rows * 4),
+            // Build-table entries plus the output pairs vector.
+            dram_written: ByteCount::new(b * 16 + out_rows * 8),
+            ..ResourceProfile::default()
+        });
+        let n = b + p;
+        let levels = (n.max(2) as f64).log2().ceil() as u64;
+        let merge_cost = self.finish(ResourceProfile {
+            cpu_cycles: self.costs.cycles_for(Kernel::SortPerLevel, n * levels)
+                + self.costs.cycles_for(Kernel::Materialize, out_rows),
+            // Encoded key streams, sort passes over the extracted pairs,
+            // and the final merge pass over both sorted runs.
+            dram_read: ByteCount::new(stream_bytes + n * 8 * levels + n * 8),
+            dram_written: ByteCount::new(n * 8 + out_rows * 8),
+            ..ResourceProfile::default()
+        });
+        let algo = if hash_cost.time <= merge_cost.time { JoinAlgo::Hash } else { JoinAlgo::SortMerge };
+        JoinDecision { build_left, algo, hash_cost, merge_cost }
+    }
+
     /// Cost of (de)compressing `rows` values (used when shipping
     /// compressed — the codec halves of E3 at plan level).
     pub fn codec(&self, rows: u64) -> PlanCost {
@@ -238,6 +328,52 @@ mod tests {
         let small = m.hash_join(1000, 10_000, 10_000);
         let large = m.hash_join(1000, 100_000, 100_000);
         assert!(small.time < large.time);
+    }
+
+    #[test]
+    fn join_compressed_picks_small_build_side_and_prunes() {
+        let m = model();
+        let dim = JoinSideCost { rows: 10_000, encoded_key_bytes: 10_000 * 2, live_frac: 1.0 };
+        let fact = JoinSideCost { rows: 10_000_000, encoded_key_bytes: 10_000_000 * 2, live_frac: 1.0 };
+        let d = m.join_compressed(&dim, &fact, 10_000_000);
+        assert!(d.build_left, "the small dimension side must build");
+        let flipped = m.join_compressed(&fact, &dim, 10_000_000);
+        assert!(!flipped.build_left);
+        assert_eq!(flipped.hash_cost, d.hash_cost, "build choice is side-symmetric");
+        // The huge-probe hash join beats n·log n sort-merge here.
+        assert_eq!(d.algo, JoinAlgo::Hash);
+        assert!(d.hash_cost.time <= d.merge_cost.time);
+        // Zone intersection scales the probe cost down on both axes.
+        let pruned = JoinSideCost { live_frac: 0.125, ..fact };
+        let p = m.join_compressed(&dim, &pruned, 1_250_000);
+        assert!(p.hash_cost.time < d.hash_cost.time);
+        assert!(p.hash_cost.energy.joules() < d.hash_cost.energy.joules());
+    }
+
+    #[test]
+    fn join_compressed_beats_decode_then_join() {
+        // The honest baseline: decode both 4x-compressed key columns to
+        // flat Vec<i64> (decode cycles, encoded reads, plain writes),
+        // then run the flat hash join. Streaming the encoded keys skips
+        // the materialization round trip, so it must win on both
+        // objectives — and tighter encodings must cost less.
+        let m = model();
+        let rows = 8_000_000u64;
+        let encoded = rows * 2;
+        let side = JoinSideCost { rows, encoded_key_bytes: encoded, live_frac: 1.0 };
+        let compressed = m.join_compressed(&side, &side, rows);
+        let decode = m.finish(ResourceProfile {
+            cpu_cycles: m.costs.cycles_for(Kernel::CompressDecode, rows * 2),
+            dram_read: ByteCount::new(encoded * 2),
+            dram_written: ByteCount::new(rows * 2 * 8),
+            ..ResourceProfile::default()
+        });
+        let baseline = decode + m.hash_join(rows, rows, rows);
+        assert!(compressed.hash_cost.time < baseline.time);
+        assert!(compressed.hash_cost.energy.joules() < baseline.energy.joules());
+        let loose = JoinSideCost { encoded_key_bytes: rows * 8, ..side };
+        let l = m.join_compressed(&loose, &loose, rows);
+        assert!(compressed.hash_cost.energy.joules() < l.hash_cost.energy.joules());
     }
 
     #[test]
