@@ -21,6 +21,7 @@ pub mod e16_compression;
 pub mod e17_delta_merge;
 pub mod e18_agg_pushdown;
 pub mod e19_join_compressed;
+pub mod e20_late_materialization;
 
 use crate::report::Report;
 
@@ -49,6 +50,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e17", e17_delta_merge::run),
         ("e18", e18_agg_pushdown::run),
         ("e19", e19_join_compressed::run),
+        ("e20", e20_late_materialization::run),
         ("a01", a01_ablations::run),
     ]
 }

@@ -142,6 +142,10 @@ impl Chunk {
 
     /// Gathers `positions` rows from all columns into a new chunk.
     ///
+    /// String columns gather **code-to-code** (see [`Column::gather`]):
+    /// the output dictionary holds each distinct gathered value once, so
+    /// gathering N rows never hashes N strings.
+    ///
     /// # Panics
     ///
     /// Panics if a position is out of bounds.
@@ -223,6 +227,9 @@ mod tests {
         assert_eq!(g.rows(), 2);
         assert_eq!(g.row(0).unwrap(), vec![Value::Int(4), Value::from("c")]);
         assert_eq!(g.row(1).unwrap(), vec![Value::Int(0), Value::from("a")]);
+        // Code-to-code: the gathered string column's dictionary holds
+        // only the touched values.
+        assert_eq!(g.column("grp").unwrap().as_str().unwrap().dict_size(), 2);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::dict::DictColumn;
 use crate::value::{DataType, Value};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Error returned when a value of the wrong type is appended to a column.
@@ -173,11 +173,39 @@ impl Column {
             Column::Int64(v) => Column::Int64(positions.iter().map(|&i| v[i]).collect()),
             Column::Float64(v) => Column::Float64(positions.iter().map(|&i| v[i]).collect()),
             Column::Str(d) => {
-                let mut out = DictColumn::new();
-                for &i in positions {
-                    out.push(d.get(i).expect("gather position out of bounds"));
-                }
-                Column::Str(out)
+                // Code-to-code: each distinct source code decodes into
+                // the output dictionary once; repeats are O(1) remap
+                // hits, never string hashes (see `DictColumn::from_codes`).
+                // A gather far smaller than the dictionary keys a small
+                // map by source code instead of allocating (and zeroing)
+                // an O(dictionary) remap table.
+                let mut dict: Vec<String> = Vec::new();
+                let codes: Vec<u32> = if positions.len() * 8 < d.dict_size() {
+                    let mut remap: HashMap<u32, u32> = HashMap::with_capacity(positions.len());
+                    positions
+                        .iter()
+                        .map(|&i| {
+                            let c = d.codes()[i];
+                            *remap.entry(c).or_insert_with(|| {
+                                dict.push(d.decode(c).expect("code in dict").to_string());
+                                (dict.len() - 1) as u32
+                            })
+                        })
+                        .collect()
+                } else {
+                    let mut remap: Vec<Option<u32>> = vec![None; d.dict_size()];
+                    positions
+                        .iter()
+                        .map(|&i| {
+                            let c = d.codes()[i] as usize;
+                            *remap[c].get_or_insert_with(|| {
+                                dict.push(d.decode(c as u32).expect("code in dict").to_string());
+                                (dict.len() - 1) as u32
+                            })
+                        })
+                        .collect()
+                };
+                Column::Str(DictColumn::from_codes(dict, codes))
             }
         }
     }
@@ -332,6 +360,25 @@ mod tests {
         let s = Column::Str(DictColumn::from_iter(["a", "b", "c"]));
         let g = s.gather(&[2, 0]);
         assert_eq!(g.as_str().unwrap().iter().collect::<Vec<_>>(), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn gather_str_dedups_output_dictionary() {
+        // Duplicate gathers share one dictionary entry (code-to-code),
+        // and untouched source values never reach the output dictionary.
+        let s = Column::Str(DictColumn::from_iter(["a", "b", "c", "b"]));
+        let g = s.gather(&[1, 3, 1]);
+        let d = g.as_str().unwrap();
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec!["b", "b", "b"]);
+        assert_eq!(d.dict_size(), 1);
+        // Tiny gather from a high-NDV column: the small-map branch gives
+        // the same result without an O(dictionary) remap table.
+        let values: Vec<String> = (0..200).map(|i| format!("v{i}")).collect();
+        let wide = Column::Str(values.iter().map(String::as_str).collect());
+        let g = wide.gather(&[7, 123, 7]);
+        let d = g.as_str().unwrap();
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec!["v7", "v123", "v7"]);
+        assert_eq!(d.dict_size(), 2);
     }
 
     #[test]

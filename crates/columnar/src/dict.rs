@@ -25,6 +25,10 @@ pub struct DictColumn {
     dict: Vec<String>,
     lookup: HashMap<String, u32>,
     codes: Vec<u32>,
+    /// Running total of dictionary-entry payload bytes, so
+    /// [`DictColumn::avg_entry_bytes`] (the planner's projection-cost
+    /// input) is O(1) instead of a full dictionary walk per query.
+    entry_bytes: usize,
 }
 
 impl DictColumn {
@@ -48,6 +52,7 @@ impl DictColumn {
         let c = u32::try_from(self.dict.len()).expect("dictionary exceeds u32 codes");
         self.dict.push(value.to_string());
         self.lookup.insert(value.to_string(), c);
+        self.entry_bytes += value.len();
         c
     }
 
@@ -97,6 +102,39 @@ impl DictColumn {
         self.codes.push(code);
     }
 
+    /// Builds a column directly from an already-deduplicated dictionary
+    /// and a vector of row codes — the cheap codes-to-client
+    /// construction path projections use: O(codes) moves plus one
+    /// lookup-table insert per **distinct** value; no per-row string
+    /// hashing ever happens.
+    ///
+    /// ```
+    /// use haec_columnar::dict::DictColumn;
+    /// let c = DictColumn::from_codes(vec!["de".into(), "us".into()], vec![0, 1, 0, 0]);
+    /// assert_eq!(c.len(), 4);
+    /// assert_eq!(c.dict_size(), 2);
+    /// assert_eq!(c.get(3), Some("de"));
+    /// assert_eq!(c.code_of("us"), Some(1));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dict` holds duplicates (that would break the
+    /// `decode`/`code_of` round trip). Out-of-range codes are a logic
+    /// error checked in debug builds only — validating them costs a
+    /// full extra pass over the code vector, which the gather hot paths
+    /// constructing codes in-range by construction must not pay.
+    pub fn from_codes(dict: Vec<String>, codes: Vec<u32>) -> Self {
+        let mut lookup = HashMap::with_capacity(dict.len());
+        for (i, s) in dict.iter().enumerate() {
+            let prev = lookup.insert(s.clone(), i as u32);
+            assert!(prev.is_none(), "duplicate dictionary entry {s:?}");
+        }
+        debug_assert!(codes.iter().all(|&c| (c as usize) < dict.len()), "code not interned");
+        let entry_bytes = dict.iter().map(String::len).sum();
+        DictColumn { dict, lookup, codes, entry_bytes }
+    }
+
     /// For every distinct value of `self` (in code order), the code
     /// `target` assigns that value, or `None` if `target` never interned
     /// it — the one-off dictionary remap that lets equi-joins and
@@ -116,11 +154,22 @@ impl DictColumn {
         self.codes.iter().map(|&c| self.dict[c as usize].as_str())
     }
 
+    /// Mean payload length of a dictionary entry in bytes (0 when
+    /// empty) — O(1), maintained at intern time; the planner's
+    /// projection costing reads this per query, so it must never walk
+    /// the dictionary.
+    pub fn avg_entry_bytes(&self) -> usize {
+        if self.dict.is_empty() {
+            0
+        } else {
+            self.entry_bytes / self.dict.len()
+        }
+    }
+
     /// Approximate heap footprint in bytes (codes + dictionary strings).
     pub fn size_bytes(&self) -> usize {
         let codes = self.codes.len() * std::mem::size_of::<u32>();
-        let strings: usize = self.dict.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum();
-        codes + strings
+        codes + self.entry_bytes + self.dict.len() * std::mem::size_of::<String>()
     }
 }
 
@@ -205,6 +254,16 @@ mod tests {
     }
 
     #[test]
+    fn avg_entry_bytes_tracks_interning() {
+        let mut c = DictColumn::new();
+        assert_eq!(c.avg_entry_bytes(), 0, "empty dictionary");
+        c.push("ab");
+        c.push("ab");
+        c.push("abcd");
+        assert_eq!(c.avg_entry_bytes(), 3, "mean of {{ab, abcd}}, repeats free");
+    }
+
+    #[test]
     fn size_accounts_for_dedup() {
         let mut many_distinct = DictColumn::new();
         let mut few_distinct = DictColumn::new();
@@ -228,6 +287,34 @@ mod tests {
     #[should_panic(expected = "not interned")]
     fn push_code_rejects_unknown() {
         DictColumn::new().push_code(0);
+    }
+
+    #[test]
+    fn from_codes_builds_without_row_hashing() {
+        let c = DictColumn::from_codes(vec!["x".into(), "y".into()], vec![1, 0, 1, 1]);
+        let got: Vec<&str> = c.iter().collect();
+        assert_eq!(got, vec!["y", "x", "y", "y"]);
+        // The lookup table is fully built: code_of and intern see the
+        // existing entries.
+        assert_eq!(c.code_of("y"), Some(1));
+        assert_eq!(c.avg_entry_bytes(), 1);
+        let mut c = c;
+        assert_eq!(c.intern("x"), 0, "existing entry, no new code");
+        // Empty construction is fine.
+        assert!(DictColumn::from_codes(Vec::new(), Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not interned")]
+    fn from_codes_rejects_out_of_range() {
+        DictColumn::from_codes(vec!["a".into()], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dictionary entry")]
+    fn from_codes_rejects_duplicate_entries() {
+        DictColumn::from_codes(vec!["a".into(), "a".into()], vec![0]);
     }
 
     #[test]

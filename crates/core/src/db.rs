@@ -27,7 +27,7 @@ use crate::error::{DbError, DbResult};
 use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
 use crate::schema::{Record, TableSchema};
 use crate::segment::{zone_all_match, zone_may_match, MergeStats, SegColumn, Segment};
-use crate::table::Table;
+use crate::table::{sparse_hits, Table};
 use haec_columnar::bitmap::Bitmap;
 use haec_columnar::chunk::Chunk;
 use haec_columnar::column::Column;
@@ -44,7 +44,7 @@ use haec_exec::join::{sort_merge_join_pairs, HashJoin, HASH_BUCKET_BYTES};
 use haec_exec::morsel::parallel_morsels;
 use haec_exec::select::{select_metered, SelectKernel};
 use haec_planner::access::{choose_access_segmented, join_zone_overlap, AccessPath, ZoneMapMeta};
-use haec_planner::cost::{CostModel, JoinAlgo, JoinSideCost};
+use haec_planner::cost::{CostModel, JoinAlgo, JoinSideCost, PlanCost};
 use haec_planner::optimizer::{choose, Goal};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -833,12 +833,20 @@ impl Database {
                     &zones,
                     encoded,
                 );
-                let candidates = [decision.scan_cost, decision.index_cost.unwrap_or(decision.scan_cost)];
-                let planner_costs = [
-                    haec_planner::cost::PlanCost { time: candidates[0].time, energy: candidates[0].energy },
-                    haec_planner::cost::PlanCost { time: candidates[1].time, energy: candidates[1].energy },
-                ];
-                let pick = choose(&planner_costs, self.goal).unwrap_or(0);
+                // Either path delivers the same projection, shipped to
+                // the client as codes + a shared dictionary — add its
+                // cost ([`CostModel::project_codes`]) to both so the
+                // totals the session goal weighs are honest end to end.
+                let project = str_projection_cost(&model, t, &meta, query, decision.selectivity);
+                let access = [decision.scan_cost, decision.index_cost.unwrap_or(decision.scan_cost)];
+                let candidates = [access[0] + project, access[1] + project];
+                // If the shared projection term pushes *both* totals past
+                // a budget goal, the query still has to run: rank the
+                // access work alone, so an index that dominates the scan
+                // is never abandoned for being part of an over-budget
+                // whole.
+                let pick =
+                    choose(&candidates, self.goal).or_else(|_| choose(&access, self.goal)).unwrap_or(0);
                 if pick == 1 && decision.index_cost.is_some() {
                     let idx = self.indexes.get_mut(&key).expect("checked above");
                     let mut rows = idx.lookup(first.literal);
@@ -892,15 +900,21 @@ impl Database {
             (Some(_), None) => return Err(DbError::BadQuery("group_by requires an aggregate".into())),
             (None, None) => {
                 // Materialize only the projected columns (all schema
-                // columns when no projection is given).
+                // columns when no projection is given). Strings flow as
+                // codes + one shared output dictionary per column; the
+                // stats bill what each store path actually did (stream-
+                // decoded encoded bytes, per-cell random access, flat
+                // delta reads, one first-touch read per distinct string).
                 let names: Vec<String> = match &query.select {
                     Some(cols) => cols.clone(),
                     None => t.schema().columns().iter().map(|(n, _)| n.clone()).collect(),
                 };
-                let cols = t.materialize_columns(&names, positions.as_deref())?;
+                let (cols, gstats) = t.materialize_columns(&names, positions.as_deref())?;
                 let chunk = Chunk::new(cols).expect("gathered columns are equal length");
-                profile.cpu_cycles += self.costs.cycles_for(Kernel::Materialize, chunk.rows() as u64);
-                profile.dram_written += ByteCount::new(chunk.size_bytes() as u64);
+                profile.cpu_cycles += self.costs.cycles_for(Kernel::Materialize, chunk.rows() as u64)
+                    + self.costs.cycles_for(Kernel::CompressDecode, gstats.decode_items);
+                profile.dram_read += ByteCount::new(gstats.bytes_read);
+                profile.dram_written += ByteCount::new(gstats.bytes_written);
                 chunk
             }
             (group, Some((kind, value_col))) => {
@@ -1166,12 +1180,13 @@ impl Database {
     /// Gathers one side's payload columns for its surviving join rows,
     /// billing the work. Strictly ascending row lists — the unique-key
     /// (FK) probe side, where pairs come back in probe-row order — take
-    /// the dense ordered path of [`Table::materialize_columns`], billed
-    /// per segment exactly as executed (whole-segment decode when hits
-    /// are dense, random access when sparse);
+    /// the dense ordered path of [`Table::materialize_columns`];
     /// everything else (scattered build rows, duplicate keys) goes
-    /// through the positional [`Table::gather_rows`], paying compressed
-    /// random access per cell.
+    /// through the positional [`Table::gather_rows`]. Both report the
+    /// work they actually did (whole-segment stream-decodes when hits
+    /// pass the density crossover, compressed random access when
+    /// sparse, code-to-code string gathers) as
+    /// [`crate::table::GatherStats`], billed here.
     fn gather_join_side(
         &self,
         t: &Table,
@@ -1181,53 +1196,15 @@ impl Database {
         let mut profile = ResourceProfile::default();
         let cells = (rows.len() * names.len()) as u64;
         profile.cpu_cycles += self.costs.cycles_for(Kernel::Materialize, cells);
-        if rows.windows(2).all(|w| w[0] < w[1]) {
-            let cols = t.materialize_columns(names, Some(rows))?;
-            // Bill what the ordered gather actually does per segment:
-            // dense segments (hits·8 ≥ rows) are decoded whole (full
-            // decode cycles + the segment's encoded bytes), sparse ones
-            // pay compressed random access per hit. The per-segment hit
-            // counts come from one pass over the ascending row list.
-            let mut i = 0;
-            let mut seg_hits: Vec<(usize, usize)> = Vec::new(); // (segment, hits)
-            for (si, seg) in t.segments().iter().enumerate() {
-                let end = t.segment_base(si) + seg.rows();
-                let from = i;
-                while i < rows.len() && (rows[i] as usize) < end {
-                    i += 1;
-                }
-                if i > from {
-                    seg_hits.push((si, i - from));
-                }
-            }
-            let delta_hits = (rows.len() - i) as u64;
-            for (name, col) in &cols {
-                let idx = t.schema().position(name).expect("materialized column exists");
-                let (mut items, mut bytes) = (0u64, delta_hits * 8);
-                for &(si, n) in &seg_hits {
-                    let seg = &t.segments()[si];
-                    if let Some(c) = seg.column(idx) {
-                        if n * 8 >= seg.rows() {
-                            items += seg.rows() as u64;
-                            bytes += c.encoded_bytes() as u64;
-                        } else {
-                            items += n as u64;
-                            bytes += n as u64 * 8;
-                        }
-                    }
-                }
-                profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, items);
-                profile.dram_read += ByteCount::new(bytes);
-                profile.dram_written += ByteCount::new(col.size_bytes() as u64);
-            }
-            Ok((cols, profile))
+        let (cols, stats) = if rows.windows(2).all(|w| w[0] < w[1]) {
+            t.materialize_columns(names, Some(rows))?
         } else {
-            let (cols, stats) = t.gather_rows(names, rows)?;
-            profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, stats.decode_items);
-            profile.dram_read += ByteCount::new(stats.bytes_read);
-            profile.dram_written += ByteCount::new(stats.bytes_written);
-            Ok((cols, profile))
-        }
+            t.gather_rows(names, rows)?
+        };
+        profile.cpu_cycles += self.costs.cycles_for(Kernel::CompressDecode, stats.decode_items);
+        profile.dram_read += ByteCount::new(stats.bytes_read);
+        profile.dram_written += ByteCount::new(stats.bytes_written);
+        Ok((cols, profile))
     }
 
     /// Streams one side's surviving `(join key, global row)` pairs, unit
@@ -1376,7 +1353,7 @@ impl Database {
             } else {
                 let hits = hits.expect("not full implies a hit list");
                 let n = hits.len();
-                if n * 8 < rows {
+                if sparse_hits(n, rows) {
                     // Sparse survivors: compressed random access.
                     for &p in hits {
                         out(keyify(src.get(p as usize - base)), p);
@@ -1779,7 +1756,7 @@ impl Database {
         } else {
             let hits = hits.expect("not full implies a hit list");
             let n = hits.len();
-            if n * 8 < rows {
+            if sparse_hits(n, rows) {
                 for &p in hits {
                     let local = p as usize - base;
                     map.entry(gsrc.get(local)).or_default().update(vsrc.get(local));
@@ -1875,7 +1852,7 @@ impl Database {
             if kind == AggKind::Count {
                 st.count = hits.len() as u64;
                 profile.cpu_cycles += self.costs.cycles_for(Kernel::AggUpdate, 1);
-            } else if hits.len() * 8 < rows {
+            } else if sparse_hits(hits.len(), rows) {
                 // Sparse survivors: compressed random access.
                 for &p in hits {
                     st.update(vsrc.get(p as usize - base));
@@ -2077,6 +2054,41 @@ fn resolve_join_outputs(
             })
             .collect(),
     }
+}
+
+/// Planner-side cost of delivering this query's string projection to
+/// the client as codes + one shared output dictionary
+/// ([`CostModel::project_codes`]): the estimated surviving rows each
+/// move a code, and each distinct value (catalog NDV, capped by the row
+/// count) pays one dictionary-entry decode of the column's mean entry
+/// length. Zero for aggregates (no client projection) and for
+/// projections without string columns.
+fn str_projection_cost(
+    model: &CostModel,
+    t: &Table,
+    meta: &haec_planner::catalog::TableMeta,
+    query: &Query,
+    sel: f64,
+) -> PlanCost {
+    if query.agg.is_some() {
+        return PlanCost::ZERO;
+    }
+    let rows = (sel * t.rows() as f64).ceil() as u64;
+    let projected: Vec<&str> = match &query.select {
+        Some(cols) => cols.iter().map(String::as_str).collect(),
+        None => t.schema().columns().iter().map(|(n, _)| n.as_str()).collect(),
+    };
+    let mut cost = PlanCost::ZERO;
+    for name in projected {
+        let Some(idx) = t.schema().position(name) else { continue };
+        if t.schema().columns()[idx].1 != DataType::Str {
+            continue;
+        }
+        let ndv = meta.column(name).map_or(rows, |c| c.ndv);
+        let avg = t.global_dict(idx).filter(|d| d.dict_size() > 0).map_or(8, |d| d.avg_entry_bytes() as u64);
+        cost = cost + model.project_codes(rows, ndv, avg);
+    }
+    cost
 }
 
 /// ANDs `m` into the accumulator (first predicate just installs it).
@@ -2399,6 +2411,43 @@ mod tests {
     }
 
     #[test]
+    fn over_budget_projection_still_takes_dominant_index() {
+        // The projection term is added to BOTH access-path candidates;
+        // when it pushes both past an energy budget, the planner must
+        // fall back to ranking the access work alone instead of
+        // silently defaulting to the (strictly worse) full scan.
+        let mut db = Database::new();
+        db.create_table("users", &[("id", DataType::Int64), ("country", DataType::Str)]).unwrap();
+        for i in 0..50_000i64 {
+            db.insert(
+                "users",
+                &Record::new().with("id", i).with("country", ["de", "us", "fr"][i as usize % 3]),
+            )
+            .unwrap();
+        }
+        db.create_index("users", "id", IndexMaintenance::Eager).unwrap();
+        // Recompute the two candidates exactly as execute() does, to pick
+        // a budget the index access fits but the whole query does not.
+        let t = db.table("users").unwrap();
+        let mut meta = t.planner_meta();
+        meta.columns.iter_mut().find(|c| c.name == "id").unwrap().indexed = true;
+        let zones = t.zone_maps("id").unwrap();
+        let encoded = t.column_encoded_bytes("id").unwrap() as u64;
+        let model = CostModel::new(db.machine().clone()).with_kernel_costs(db.costs.clone());
+        let decision = choose_access_segmented(&model, &meta, "id", CmpOp::Eq, 123, &zones, encoded);
+        let q = Query::scan("users").filter("id", CmpOp::Eq, 123);
+        let project = str_projection_cost(&model, t, &meta, &q, decision.selectivity);
+        assert!(project.energy.joules() > 0.0, "string projection must cost something");
+        let index = decision.index_cost.expect("point predicate on an indexed column");
+        let budget = Joules::new(index.energy.joules() + project.energy.joules() / 2.0);
+        assert!((index + project).energy.joules() > budget.joules());
+        db.set_goal(Goal::MinTimeUnderEnergyBudget(budget));
+        let out = db.execute(&q).unwrap();
+        assert_eq!(out.access_path, Some(AccessPath::IndexLookup));
+        assert_eq!(out.rows.rows(), 1);
+    }
+
+    #[test]
     fn meter_accumulates_across_queries() {
         let mut db = sample_db(1000);
         let before = db.meter().grand_total();
@@ -2462,6 +2511,43 @@ mod tests {
                 Err(DbError::TypeMismatch { .. })
             ));
         }
+    }
+
+    #[test]
+    fn string_projection_reaches_client_as_codes() {
+        let mut db = Database::new();
+        db.create_table("users", &[("id", DataType::Int64), ("country", DataType::Str)]).unwrap();
+        let countries = ["de", "us", "fr", "de", "de", "jp"];
+        for i in 0..1200i64 {
+            db.insert(
+                "users",
+                &Record::new().with("id", i).with("country", countries[i as usize % countries.len()]),
+            )
+            .unwrap();
+        }
+        db.merge("users").unwrap();
+        // Post-merge delta rows: one value the global dictionary already
+        // holds, one fresh (dictionary growth).
+        db.insert("users", &Record::new().with("id", 1200i64).with("country", "de")).unwrap();
+        db.insert("users", &Record::new().with("id", 1201i64).with("country", "br")).unwrap();
+        let out = db.execute(&Query::scan("users").select(["country"])).unwrap();
+        let col = out.rows.column("country").unwrap().as_str().unwrap();
+        assert_eq!(col.len(), 1202);
+        // Codes-to-client: one shared output dictionary, each distinct
+        // value decoded once — across the main and delta code spaces.
+        assert_eq!(col.dict_size(), 5, "de/us/fr/jp/br");
+        assert_eq!(col.get(0), Some("de"));
+        assert_eq!(col.get(1201), Some("br"));
+        // The dense projection is billed: encoded code bytes + first-
+        // touch dictionary entries + delta codes — real, but far below
+        // the 8 B/row a decode-early string materialization would move.
+        assert!(out.profile.dram_read.bytes() > 0, "projection reads must be billed");
+        assert!(out.profile.dram_read.bytes() < 1202 * 8);
+        // A filtered (sparse) projection still decodes correctly.
+        let sparse =
+            db.execute(&Query::scan("users").filter("id", CmpOp::Eq, 5).select(["country"])).unwrap();
+        assert_eq!(sparse.rows.column("country").unwrap().as_str().unwrap().get(0), Some("jp"));
+        assert_eq!(sparse.rows.column("country").unwrap().as_str().unwrap().dict_size(), 1);
     }
 
     #[test]

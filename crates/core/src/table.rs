@@ -24,6 +24,26 @@ use haec_columnar::dict::DictColumn;
 use haec_columnar::value::{DataType, Value};
 use haec_planner::access::ZoneMapMeta;
 
+/// Hit-density crossover between the two ways to read a compressed
+/// segment column: below one hit per `SPARSE_HIT_RATIO` rows, a gather
+/// uses compressed random access (`EncodedInts::get` — O(1) per hit,
+/// but a pointer-chase and partial-word decode per cell); at or above
+/// it, stream-decoding the whole segment once wins, because a
+/// sequential decode step costs roughly an eighth of a random access on
+/// the bit-packed/FOR schemes and prefetches perfectly. Every sparse-
+/// vs-dense branch in projection, gather, join-key extraction and
+/// aggregation pushdown tests the same 1:8 crossover via
+/// [`sparse_hits`], so execution and billing can never disagree on
+/// which path ran.
+pub const SPARSE_HIT_RATIO: usize = 8;
+
+/// Returns `true` when `hits` out of `rows` is below the 1-in-
+/// [`SPARSE_HIT_RATIO`] density — read per hit (compressed random
+/// access), not per segment (stream-decode).
+pub fn sparse_hits(hits: usize, rows: usize) -> bool {
+    hits * SPARSE_HIT_RATIO < rows
+}
+
 /// Where a global row id physically lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RowLoc {
@@ -304,59 +324,19 @@ impl Table {
 
     /// Gathers the integer values of column `name` at `positions`
     /// (ascending global row ids), or the full column when `positions`
-    /// is `None`. Segments with many hits are decoded once; sparse hits
-    /// use compressed random access.
-    ///
-    /// This is the *projection* gather behind
-    /// [`Table::materialize_columns`]. Aggregation no longer calls it —
-    /// aggregates push down into segments and fold partial states from
-    /// the encoded data directly (see `Database::execute`), so a main
-    /// column is never materialized just to be folded away.
+    /// is `None` — an **unmetered** convenience over
+    /// [`Table::materialize_columns`] for index builds, diagnostics and
+    /// tests. Query execution goes through `materialize_columns`, which
+    /// reports the work done.
     pub fn gather_ints(&self, name: &str, positions: Option<&[u32]>) -> Option<Vec<i64>> {
         let idx = self.schema.position(name)?;
         if self.schema.columns()[idx].1 != DataType::Int64 {
             return None;
         }
-        let delta = self.delta[idx].as_int64()?;
-        let Some(pos) = positions else {
-            let mut out = Vec::with_capacity(self.rows);
-            for seg in &self.main {
-                match seg.column(idx) {
-                    Some(SegColumn::Int { data, .. }) => out.extend(data.decode()),
-                    None => out.extend(std::iter::repeat_n(0i64, seg.rows())),
-                    _ => return None,
-                }
-            }
-            out.extend_from_slice(delta);
-            return Some(out);
-        };
-        let mut out = Vec::with_capacity(pos.len());
-        let mut i = 0;
-        for (si, seg) in self.main.iter().enumerate() {
-            let end_base = self.bases[si] + seg.rows();
-            let from = i;
-            while i < pos.len() && (pos[i] as usize) < end_base {
-                i += 1;
-            }
-            let hits = &pos[from..i];
-            if hits.is_empty() {
-                continue;
-            }
-            match seg.column(idx) {
-                Some(SegColumn::Int { data, .. }) => {
-                    if hits.len() * 8 >= seg.rows() {
-                        let dec = data.decode();
-                        out.extend(hits.iter().map(|&p| dec[p as usize - self.bases[si]]));
-                    } else {
-                        out.extend(hits.iter().map(|&p| data.get(p as usize - self.bases[si])));
-                    }
-                }
-                None => out.extend(std::iter::repeat_n(0i64, hits.len())),
-                _ => return None,
-            }
+        match self.materialize_column(idx, positions, &mut GatherStats::default()) {
+            Column::Int64(v) => Some(v),
+            _ => None,
         }
-        out.extend(pos[i..].iter().map(|&p| delta[p as usize - self.main_rows]));
-        Some(out)
     }
 
     /// Gathers the named columns at arbitrary `rows` — global row ids in
@@ -435,40 +415,25 @@ impl Table {
                     Column::Float64(v)
                 }
                 DataType::Str => {
-                    let delta = self.delta[idx].as_str().expect("schema type matches storage");
-                    let global = self.dicts[idx].as_ref().expect("string column has a dictionary");
-                    let mut dict = DictColumn::new();
-                    // code → output-code caches: decode each distinct
-                    // code once, append repeats by code.
-                    let mut main_cache: Vec<Option<u32>> = vec![None; global.dict_size()];
-                    let mut delta_cache: Vec<Option<u32>> = vec![None; delta.dict_size()];
-                    let mut sentinel: Option<u32> = None;
+                    let mut g = StrCodeGather::new(self, idx);
                     for &r in rows {
-                        let code = match self.locate(r as usize) {
+                        match self.locate(r as usize) {
                             RowLoc::Delta { local } => {
                                 stats.bytes_read += 4;
-                                let c = delta.codes()[local] as usize;
-                                cached_intern(&mut delta_cache[c], &mut dict, delta.get(local), &mut stats)
+                                g.push_delta(local, &mut stats);
                             }
                             RowLoc::Main { seg, local } => match self.main[seg].column(idx) {
                                 Some(SegColumn::Str { codes, .. }) => {
                                     stats.decode_items += 1;
                                     stats.bytes_read += 4;
-                                    let c = codes.get(local) as usize;
-                                    cached_intern(
-                                        &mut main_cache[c],
-                                        &mut dict,
-                                        global.decode(c as u32),
-                                        &mut stats,
-                                    )
+                                    g.push_main(codes.get(local) as u32, &mut stats);
                                 }
-                                None => cached_intern(&mut sentinel, &mut dict, Some(""), &mut stats),
+                                None => g.push_sentinel(&mut stats),
                                 _ => unreachable!("schema says Str"),
                             },
-                        };
-                        dict.push_code(code);
+                        }
                     }
-                    Column::Str(dict)
+                    g.finish()
                 }
             };
             stats.bytes_written += col.size_bytes() as u64;
@@ -480,7 +445,18 @@ impl Table {
     /// Materializes the named columns at `positions` (ascending global
     /// row ids; `None` = all rows) into dense output columns — the
     /// projection step after a filter. Only the requested columns are
-    /// decoded.
+    /// touched, and string columns come back **as codes + one shared
+    /// output dictionary**: each distinct code is
+    /// decoded exactly once, repeats are appended by code, and no string
+    /// is ever hashed per row — late materialization all the way to the
+    /// client [`Chunk`].
+    ///
+    /// Returns the columns plus [`GatherStats`] billing each store path
+    /// as executed: segments past the [`sparse_hits`] crossover
+    /// stream-decode once (their **encoded** bytes), sparse hits pay
+    /// compressed random access per cell, the delta reads its flat
+    /// cells, and each distinct string pays one first-touch
+    /// dictionary-entry read.
     ///
     /// # Errors
     ///
@@ -489,98 +465,157 @@ impl Table {
         &self,
         names: &[String],
         positions: Option<&[u32]>,
-    ) -> DbResult<Vec<(String, Column)>> {
+    ) -> DbResult<(Vec<(String, Column)>, GatherStats)> {
+        let mut stats = GatherStats::default();
         let mut out = Vec::with_capacity(names.len());
         for name in names {
             let idx = self
                 .schema
                 .position(name)
                 .ok_or_else(|| DbError::NoSuchColumn { table: self.name.clone(), column: name.clone() })?;
-            out.push((name.clone(), self.materialize_column(idx, positions)));
+            let col = self.materialize_column(idx, positions, &mut stats);
+            stats.bytes_written += col.size_bytes() as u64;
+            out.push((name.clone(), col));
         }
-        Ok(out)
+        Ok((out, stats))
     }
 
-    fn materialize_column(&self, idx: usize, positions: Option<&[u32]>) -> Column {
+    fn materialize_column(&self, idx: usize, positions: Option<&[u32]>, stats: &mut GatherStats) -> Column {
         let dtype = self.schema.columns()[idx].1;
+        let cap = positions.map_or(self.rows, <[u32]>::len);
         match dtype {
             DataType::Int64 => {
-                let name = &self.schema.columns()[idx].0;
-                Column::Int64(self.gather_ints(name, positions).expect("int column"))
+                let delta = self.delta[idx].as_int64().expect("schema type matches storage");
+                let mut out = Vec::with_capacity(cap);
+                self.for_each_store(positions, |hits| match hits {
+                    StoreHits::Main { seg, base, hits } => {
+                        let rows = self.main[seg].rows();
+                        match self.main[seg].column(idx) {
+                            Some(SegColumn::Int { data, .. }) => match hits {
+                                Some(h) if sparse_hits(h.len(), rows) => {
+                                    out.extend(h.iter().map(|&p| data.get(p as usize - base)));
+                                    stats.decode_items += h.len() as u64;
+                                    stats.bytes_read += h.len() as u64 * 8;
+                                }
+                                hits => {
+                                    let dec = data.decode();
+                                    stats.decode_items += rows as u64;
+                                    stats.bytes_read += data.size_bytes() as u64;
+                                    match hits {
+                                        Some(h) => out.extend(h.iter().map(|&p| dec[p as usize - base])),
+                                        None => out.extend_from_slice(&dec),
+                                    }
+                                }
+                            },
+                            None => out.extend(std::iter::repeat_n(0i64, hits.map_or(rows, <[u32]>::len))),
+                            _ => unreachable!("schema says Int64"),
+                        }
+                    }
+                    StoreHits::Delta { hits } => {
+                        match hits {
+                            Some(h) => out.extend(h.iter().map(|&p| delta[p as usize - self.main_rows])),
+                            None => out.extend_from_slice(delta),
+                        }
+                        stats.bytes_read += hits.map_or(delta.len(), <[u32]>::len) as u64 * 8;
+                    }
+                });
+                Column::Int64(out)
             }
             DataType::Float64 => {
                 let delta = self.delta[idx].as_float64().expect("schema type matches storage");
-                let mut out = Vec::with_capacity(positions.map_or(self.rows, <[u32]>::len));
+                let mut out = Vec::with_capacity(cap);
                 self.for_each_store(positions, |hits| match hits {
-                    StoreHits::Main { seg, base, hits } => match self.main[seg].column(idx) {
-                        Some(SegColumn::Float(v)) => match hits {
-                            Some(h) => out.extend(h.iter().map(|&p| v[p as usize - base])),
-                            None => out.extend_from_slice(v),
-                        },
-                        _ => out.extend(std::iter::repeat_n(
-                            0.0,
-                            hits.map_or(self.main[seg].rows(), <[u32]>::len),
-                        )),
-                    },
-                    StoreHits::Delta { hits } => match hits {
-                        Some(h) => out.extend(h.iter().map(|&p| delta[p as usize - self.main_rows])),
-                        None => out.extend_from_slice(delta),
-                    },
+                    StoreHits::Main { seg, base, hits } => {
+                        let rows = self.main[seg].rows();
+                        match self.main[seg].column(idx) {
+                            Some(SegColumn::Float(v)) => match hits {
+                                Some(h) if sparse_hits(h.len(), rows) => {
+                                    out.extend(h.iter().map(|&p| v[p as usize - base]));
+                                    stats.bytes_read += h.len() as u64 * 8;
+                                }
+                                hits => {
+                                    stats.bytes_read += (rows * 8) as u64;
+                                    match hits {
+                                        Some(h) => out.extend(h.iter().map(|&p| v[p as usize - base])),
+                                        None => out.extend_from_slice(v),
+                                    }
+                                }
+                            },
+                            None => out.extend(std::iter::repeat_n(0.0, hits.map_or(rows, <[u32]>::len))),
+                            _ => unreachable!("schema says Float64"),
+                        }
+                    }
+                    StoreHits::Delta { hits } => {
+                        match hits {
+                            Some(h) => out.extend(h.iter().map(|&p| delta[p as usize - self.main_rows])),
+                            None => out.extend_from_slice(delta),
+                        }
+                        stats.bytes_read += hits.map_or(delta.len(), <[u32]>::len) as u64 * 8;
+                    }
                 });
                 Column::Float64(out)
             }
             DataType::Str => {
-                let delta = self.delta[idx].as_str().expect("schema type matches storage");
-                let global = self.dicts[idx].as_ref().expect("string column has a dictionary");
-                let mut col = DictColumn::new();
+                let mut g = StrCodeGather::new(self, idx);
                 self.for_each_store(positions, |hits| match hits {
-                    StoreHits::Main { seg, base, hits } => match self.main[seg].column(idx) {
-                        Some(SegColumn::Str { codes, .. }) => match hits {
-                            Some(h) if h.len() * 8 < self.main[seg].rows() => {
-                                // Sparse hits: compressed random access.
+                    StoreHits::Main { seg, base, hits } => {
+                        let rows = self.main[seg].rows();
+                        match self.main[seg].column(idx) {
+                            Some(SegColumn::Str { codes, .. }) => match hits {
+                                Some(h) if sparse_hits(h.len(), rows) => {
+                                    // Sparse hits: compressed random access,
+                                    // remapped code-to-code.
+                                    for &p in h {
+                                        g.push_main(codes.get(p as usize - base) as u32, stats);
+                                    }
+                                    stats.decode_items += h.len() as u64;
+                                    stats.bytes_read += h.len() as u64 * 4;
+                                }
+                                hits => {
+                                    // Dense (or full): stream-decode the code
+                                    // vector once, then copy codes.
+                                    let dec = codes.decode();
+                                    stats.decode_items += rows as u64;
+                                    stats.bytes_read += codes.size_bytes() as u64;
+                                    match hits {
+                                        Some(h) => {
+                                            for &p in h {
+                                                g.push_main(dec[p as usize - base] as u32, stats);
+                                            }
+                                        }
+                                        None => {
+                                            for c in dec {
+                                                g.push_main(c as u32, stats);
+                                            }
+                                        }
+                                    }
+                                }
+                            },
+                            None => {
+                                for _ in 0..hits.map_or(rows, <[u32]>::len) {
+                                    g.push_sentinel(stats);
+                                }
+                            }
+                            _ => unreachable!("schema says Str"),
+                        }
+                    }
+                    StoreHits::Delta { hits } => {
+                        match hits {
+                            Some(h) => {
                                 for &p in h {
-                                    let code = codes.get(p as usize - base) as u32;
-                                    col.push(global.decode(code).expect("code in dict"));
+                                    g.push_delta(p as usize - self.main_rows, stats);
                                 }
                             }
-                            _ => {
-                                // Dense (or full): decode the codes once.
-                                let dec = codes.decode();
-                                match hits {
-                                    Some(h) => {
-                                        for &p in h {
-                                            let code = dec[p as usize - base] as u32;
-                                            col.push(global.decode(code).expect("code in dict"));
-                                        }
-                                    }
-                                    None => {
-                                        for c in dec {
-                                            col.push(global.decode(c as u32).expect("code in dict"));
-                                        }
-                                    }
+                            None => {
+                                for local in 0..self.delta_rows() {
+                                    g.push_delta(local, stats);
                                 }
                             }
-                        },
-                        _ => {
-                            for _ in 0..hits.map_or(self.main[seg].rows(), <[u32]>::len) {
-                                col.push("");
-                            }
                         }
-                    },
-                    StoreHits::Delta { hits } => match hits {
-                        Some(h) => {
-                            for &p in h {
-                                col.push(delta.get(p as usize - self.main_rows).expect("delta row in range"));
-                            }
-                        }
-                        None => {
-                            for s in delta.iter() {
-                                col.push(s);
-                            }
-                        }
-                    },
+                        stats.bytes_read += hits.map_or(self.delta_rows(), <[u32]>::len) as u64 * 4;
+                    }
                 });
-                Column::Str(col)
+                g.finish()
             }
         }
     }
@@ -618,11 +653,11 @@ impl Table {
 
     /// Materializes one whole column (main decoded + delta) by name.
     ///
-    /// This is a full decode — query execution never calls it; it exists
-    /// for index builds, diagnostics and tests.
+    /// This is a full, unmetered decode — query execution never calls
+    /// it; it exists for index builds, diagnostics and tests.
     pub fn column(&self, name: &str) -> Option<Column> {
         let idx = self.schema.position(name)?;
-        Some(self.materialize_column(idx, None))
+        Some(self.materialize_column(idx, None, &mut GatherStats::default()))
     }
 
     /// The validity vector of one column (false = null sentinel); rows
@@ -652,10 +687,11 @@ impl Table {
         Some(main + delta)
     }
 
-    /// Materializes the whole table as a [`Chunk`] (full decode).
+    /// Materializes the whole table as a [`Chunk`] — string columns as
+    /// codes + shared output dictionaries, like every projection.
     pub fn to_chunk(&self) -> Chunk {
         let names: Vec<String> = self.schema.columns().iter().map(|(n, _)| n.clone()).collect();
-        let cols = self.materialize_columns(&names, None).expect("schema columns exist");
+        let (cols, _) = self.materialize_columns(&names, None).expect("schema columns exist");
         Chunk::new(cols).expect("table columns are equal length")
     }
 
@@ -793,21 +829,88 @@ impl Table {
     }
 }
 
-/// Work done by one positional gather ([`Table::gather_rows`]), for the
+/// Work done by one projection or positional gather
+/// ([`Table::materialize_columns`] / [`Table::gather_rows`]), for the
 /// caller to charge to the energy meter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GatherStats {
-    /// Compressed random-access decodes performed (main-segment cells).
+    /// Decode steps performed on encoded main columns — one per cell
+    /// randomly accessed, one per row of a stream-decoded segment.
     pub decode_items: u64,
-    /// Bytes read gathering the inputs (codes, cells, first-touch
-    /// dictionary entries).
+    /// Bytes read gathering the inputs: encoded bytes of stream-decoded
+    /// segments, per-cell reads for sparse hits, flat delta cells, and
+    /// one first-touch read per distinct dictionary entry.
     pub bytes_read: u64,
     /// Bytes written into the output columns.
     pub bytes_written: u64,
 }
 
+/// Translates a table's two string code spaces — the table-global
+/// dictionary backing main segments and the delta-local dictionary
+/// backing the tail — into **one output code space**, building the
+/// projection's shared output dictionary as it goes. This is the
+/// codes-to-client machinery behind both [`Table::gather_rows`] and
+/// [`Table::materialize_columns`]: each distinct source code is decoded
+/// and interned exactly once (O(distinct) string hashes, billed as
+/// first-touch dictionary-entry reads), and every repeat is an O(1)
+/// array-indexed cache hit plus a code push — never a string hash.
+/// Values shared between the global and delta dictionaries (and the
+/// `""` sentinel) still collapse to one output entry, because the
+/// intern goes through the output dictionary's own lookup on first
+/// touch.
+struct StrCodeGather<'a> {
+    global: Option<&'a DictColumn>,
+    delta: &'a DictColumn,
+    out: DictColumn,
+    /// Global code → output code, filled on first touch.
+    main_cache: Vec<Option<u32>>,
+    /// Delta-local code → output code, filled on first touch.
+    delta_cache: Vec<Option<u32>>,
+    /// Output code of the sentinel `""` (segments predating the column).
+    sentinel: Option<u32>,
+}
+
+impl<'a> StrCodeGather<'a> {
+    fn new(t: &'a Table, idx: usize) -> StrCodeGather<'a> {
+        let delta = t.delta[idx].as_str().expect("schema type matches storage");
+        let global = t.dicts[idx].as_ref();
+        StrCodeGather {
+            global,
+            delta,
+            out: DictColumn::new(),
+            main_cache: vec![None; global.map_or(0, DictColumn::dict_size)],
+            delta_cache: vec![None; delta.dict_size()],
+            sentinel: None,
+        }
+    }
+
+    /// Appends the row holding table-global dictionary `code`.
+    fn push_main(&mut self, code: u32, stats: &mut GatherStats) {
+        let global = self.global.expect("main string rows imply a global dictionary");
+        let c = cached_intern(&mut self.main_cache[code as usize], &mut self.out, global.decode(code), stats);
+        self.out.push_code(c);
+    }
+
+    /// Appends delta row `local` (resolved through its local code).
+    fn push_delta(&mut self, local: usize, stats: &mut GatherStats) {
+        let code = self.delta.codes()[local] as usize;
+        let c = cached_intern(&mut self.delta_cache[code], &mut self.out, self.delta.get(local), stats);
+        self.out.push_code(c);
+    }
+
+    /// Appends the `""` sentinel of a segment predating the column.
+    fn push_sentinel(&mut self, stats: &mut GatherStats) {
+        let c = cached_intern(&mut self.sentinel, &mut self.out, Some(""), stats);
+        self.out.push_code(c);
+    }
+
+    fn finish(self) -> Column {
+        Column::Str(self.out)
+    }
+}
+
 /// Interns a decoded string into the gather's output dictionary exactly
-/// once per distinct source code (see [`Table::gather_rows`]).
+/// once per distinct source code (see [`StrCodeGather`]).
 fn cached_intern(
     cache: &mut Option<u32>,
     dict: &mut DictColumn,
@@ -1109,6 +1212,70 @@ mod tests {
         assert!(empty.iter().all(|(_, c)| c.is_empty()));
         assert_eq!(es.decode_items, 0);
         assert!(t.gather_rows(&["nope".to_string()], &[]).is_err());
+    }
+
+    #[test]
+    fn sparse_dense_threshold() {
+        assert!(sparse_hits(0, 1));
+        assert!(sparse_hits(7, 64));
+        assert!(!sparse_hits(8, 64), "exactly 1:{SPARSE_HIT_RATIO} streams");
+        assert!(!sparse_hits(10, 10));
+    }
+
+    fn tagged_table() -> Table {
+        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64), ("s", DataType::Str)]));
+        let tags = ["de", "us", "fr", "de"];
+        for i in 0..200i64 {
+            t.insert(&Record::new().with("v", i).with("s", tags[i as usize % tags.len()])).unwrap();
+        }
+        t.merge();
+        // Delta tail re-uses "de" (shared with the global dict) and adds
+        // a fresh value.
+        for i in 200..220i64 {
+            t.insert(&Record::new().with("v", i).with("s", if i % 2 == 0 { "de" } else { "jp" })).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn string_projection_carries_codes_with_shared_dict() {
+        let t = tagged_table();
+        let names = vec!["s".to_string()];
+        // Full projection: every store, one output dictionary.
+        let (cols, stats) = t.materialize_columns(&names, None).unwrap();
+        let s = cols[0].1.as_str().unwrap();
+        assert_eq!(s.len(), 220);
+        // Distinct values appear once each, despite living in two code
+        // spaces ("de" is in both the global and the delta dictionary).
+        assert_eq!(s.dict_size(), 4, "de/us/fr/jp, shared across stores");
+        assert_eq!(s.get(0), Some("de"));
+        assert_eq!(s.get(219), Some("jp"));
+        assert!(stats.decode_items >= 200, "main codes stream-decoded");
+        assert!(stats.bytes_read > 0 && stats.bytes_written > 0);
+        // Sparse projection: compressed random access, same answers.
+        let pos: Vec<u32> = vec![1, 50, 201];
+        let (cols, sp) = t.materialize_columns(&names, Some(&pos)).unwrap();
+        let s = cols[0].1.as_str().unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec!["us", "fr", "jp"]);
+        assert_eq!(s.dict_size(), 3, "only touched values enter the dictionary");
+        assert_eq!(sp.decode_items, 2, "two main cells randomly accessed");
+    }
+
+    #[test]
+    fn materialize_stats_bill_the_path_taken() {
+        let t = tagged_table();
+        let names = vec!["v".to_string()];
+        // Dense: the segment streams its encoded bytes once.
+        let (_, dense) = t.materialize_columns(&names, None).unwrap();
+        let encoded = t.segments()[0].column(0).unwrap().encoded_bytes() as u64;
+        assert_eq!(dense.decode_items, 200);
+        assert_eq!(dense.bytes_read, encoded + 20 * 8, "encoded segment + flat delta");
+        // Sparse: per-cell random access, 8 B each.
+        let pos: Vec<u32> = vec![0, 199, 210];
+        let (_, sparse) = t.materialize_columns(&names, Some(&pos)).unwrap();
+        assert_eq!(sparse.decode_items, 2);
+        assert_eq!(sparse.bytes_read, 2 * 8 + 8, "two random cells + one delta cell");
+        assert!(t.materialize_columns(&["nope".to_string()], None).is_err());
     }
 
     #[test]

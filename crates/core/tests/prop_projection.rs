@@ -1,0 +1,124 @@
+//! Differential property tests for codes-to-client projections: string
+//! columns flow to the client `Chunk` as dictionary codes + one shared
+//! output dictionary, and must decode to byte-identical strings vs a
+//! naive decode-everything reference — across flat, mixed and fully
+//! merged layouts, sparse and dense hit densities, and post-merge
+//! dictionary growth (delta values the global dictionary has never
+//! seen).
+
+use haec_columnar::value::CmpOp;
+use haecdb::prelude::*;
+use proptest::prelude::*;
+
+/// Tag pool spanning repeats and the empty string (the sentinel value).
+const TAGS: [&str; 5] = ["alpha", "beta", "gamma", "delta", ""];
+
+fn ops() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn make_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        &[
+            ("id", DataType::Int64),
+            ("amount", DataType::Int64),
+            ("tag", DataType::Str),
+            ("name", DataType::Str),
+        ],
+    )
+    .unwrap();
+    db.set_merge_threshold("t", usize::MAX).unwrap();
+    db
+}
+
+/// One logical row: the id/amount payload plus both decoded strings —
+/// the naive reference keeps plain `String`s, never codes.
+type Row = (i64, i64, String, String);
+
+fn insert_row(db: &mut Database, row: &Row) {
+    let (id, amount, tag, name) = row;
+    db.insert(
+        "t",
+        &Record::new()
+            .with("id", *id)
+            .with("amount", *amount)
+            .with("tag", tag.as_str())
+            .with("name", name.as_str()),
+    )
+    .unwrap();
+}
+
+proptest! {
+    /// Random rows, a random merge cadence (flat → mixed → merged), a
+    /// post-merge tail carrying *fresh* dictionary values, and a random
+    /// filter driving the hit density from empty through sparse to
+    /// dense: every projected string must decode byte-identically to
+    /// the plain-Rust reference, through both the whole-chunk accessors
+    /// and per-row `Chunk::row`.
+    #[test]
+    fn codes_to_client_projection_matches_naive_reference(
+        base in proptest::collection::vec((0i64..300, -50i64..50, 0usize..5), 1..250),
+        fresh in proptest::collection::vec((0i64..300, -50i64..50, 0usize..3), 0..40),
+        merge_every in 1usize..120,
+        op in ops(),
+        lit in -60i64..360,
+        narrow in any::<bool>(),
+    ) {
+        // The reference rows, with strings decoded eagerly.
+        let mut reference: Vec<Row> = base
+            .iter()
+            .map(|&(id, amount, t)| (id, amount, TAGS[t].to_string(), format!("n{}", id % 7)))
+            .collect();
+        // Post-merge rows use values no merged dictionary has interned,
+        // so the delta-local dictionary genuinely grows past the global.
+        reference.extend(
+            fresh.iter().map(|&(id, amount, t)| (id, amount, format!("fresh-{t}"), format!("n{}", id % 7))),
+        );
+
+        let mut flat = make_db();
+        let mut seg = make_db();
+        for (i, row) in reference.iter().enumerate() {
+            insert_row(&mut flat, row);
+            insert_row(&mut seg, row);
+            // Merges stop before the fresh tail, leaving it delta-only.
+            if i < base.len() && (i + 1) % merge_every == 0 {
+                seg.merge("t").unwrap();
+            }
+        }
+
+        let q = Query::scan("t").filter("id", op, lit);
+        let q = if narrow { q.select(["tag", "name"]) } else { q };
+        let expected: Vec<&Row> = reference.iter().filter(|r| op.eval(r.0, lit)).collect();
+
+        for (label, db) in [("flat", &mut flat), ("segmented", &mut seg)] {
+            let out = db.execute(&q).unwrap();
+            prop_assert_eq!(out.rows.rows(), expected.len(), "{}: row count", label);
+            let tags = out.rows.column("tag").unwrap().as_str().unwrap();
+            let names = out.rows.column("name").unwrap().as_str().unwrap();
+            for (i, want) in expected.iter().enumerate() {
+                prop_assert_eq!(tags.get(i), Some(want.2.as_str()), "{}: tag row {}", label, i);
+                prop_assert_eq!(names.get(i), Some(want.3.as_str()), "{}: name row {}", label, i);
+                if !narrow {
+                    let row = out.rows.row(i).unwrap();
+                    prop_assert_eq!(&row[0], &Value::Int(want.0), "{}: id row {}", label, i);
+                    prop_assert_eq!(&row[1], &Value::Int(want.1), "{}: amount row {}", label, i);
+                }
+            }
+            // The shared output dictionary is exact: one entry per
+            // distinct projected value, regardless of how many code
+            // spaces (global, delta-local, sentinel) fed it.
+            let distinct: std::collections::BTreeSet<&str> =
+                expected.iter().map(|r| r.2.as_str()).collect();
+            prop_assert_eq!(tags.dict_size(), distinct.len(), "{}: output dictionary is minimal", label);
+        }
+    }
+}

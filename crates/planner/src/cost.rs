@@ -266,6 +266,41 @@ impl CostModel {
         JoinDecision { build_left, algo, hash_cost, merge_cost }
     }
 
+    /// Cost of delivering a string projection of `rows` result rows to
+    /// the client as **codes + one shared output dictionary** (late
+    /// materialization end to end): every row moves a 4-byte code, and
+    /// each of the `distinct` values pays one dictionary-entry decode
+    /// and intern of `avg_str_bytes` — string hashing is O(distinct),
+    /// never O(rows).
+    pub fn project_codes(&self, rows: u64, distinct: u64, avg_str_bytes: u64) -> PlanCost {
+        let d = distinct.min(rows);
+        let cycles =
+            self.costs.cycles_for(Kernel::Materialize, rows) + self.costs.cycles_for(Kernel::HashBuild, d);
+        self.finish(ResourceProfile {
+            cpu_cycles: cycles,
+            dram_read: ByteCount::new(rows * 4 + d * avg_str_bytes),
+            dram_written: ByteCount::new(rows * 4 + d * avg_str_bytes),
+            ..ResourceProfile::default()
+        })
+    }
+
+    /// The decode-early alternative [`CostModel::project_codes`]
+    /// replaces: every projected row decodes its string and re-hashes
+    /// it into the output dictionary, so the per-value payload read and
+    /// the hash both scale with `rows` instead of `distinct`. Strictly
+    /// more expensive whenever values repeat (`distinct < rows`);
+    /// identical when every row is distinct.
+    pub fn project_decode(&self, rows: u64, distinct: u64, avg_str_bytes: u64) -> PlanCost {
+        let cycles =
+            self.costs.cycles_for(Kernel::Materialize, rows) + self.costs.cycles_for(Kernel::HashBuild, rows);
+        self.finish(ResourceProfile {
+            cpu_cycles: cycles,
+            dram_read: ByteCount::new(rows * 4 + rows * avg_str_bytes),
+            dram_written: ByteCount::new(rows * 4 + distinct.min(rows) * avg_str_bytes),
+            ..ResourceProfile::default()
+        })
+    }
+
     /// Cost of (de)compressing `rows` values (used when shipping
     /// compressed — the codec halves of E3 at plan level).
     pub fn codec(&self, rows: u64) -> PlanCost {
@@ -407,6 +442,33 @@ mod tests {
             m.agg_pushdown(rows, encoded, 8, 1.0).energy.joules()
                 > m.agg_pushdown(rows, encoded, 1, 1.0).energy.joules()
         );
+    }
+
+    #[test]
+    fn project_codes_beats_decode_when_values_repeat() {
+        let m = model();
+        let rows = 1_000_000u64;
+        for distinct in [10u64, 10_000] {
+            let codes = m.project_codes(rows, distinct, 16);
+            let decode = m.project_decode(rows, distinct, 16);
+            assert!(codes.time < decode.time, "distinct={distinct}");
+            assert!(codes.energy.joules() < decode.energy.joules(), "distinct={distinct}");
+        }
+        // All-distinct projections converge: nothing repeats, so there
+        // is nothing for codes-to-client to save.
+        let codes = m.project_codes(rows, rows, 16);
+        let decode = m.project_decode(rows, rows, 16);
+        assert!(codes.energy.joules() <= decode.energy.joules());
+        // More distinct values cost more on the codes path (first-touch
+        // decodes), and longer strings widen the gap.
+        assert!(
+            m.project_codes(rows, 10_000, 16).energy.joules() > m.project_codes(rows, 10, 16).energy.joules()
+        );
+        let short_gap =
+            m.project_decode(rows, 10, 8).energy.joules() - m.project_codes(rows, 10, 8).energy.joules();
+        let long_gap =
+            m.project_decode(rows, 10, 64).energy.joules() - m.project_codes(rows, 10, 64).energy.joules();
+        assert!(long_gap > short_gap);
     }
 
     #[test]
