@@ -29,7 +29,7 @@ pub fn run() -> Report {
     let n = 100_000i64;
 
     // Flexible: one pass, schema evolves inline.
-    let mut flex_db = Database::new();
+    let flex_db = Database::new();
     flex_db.create_flexible_table("events").unwrap();
     let (_, flex_load) = time_it(|| {
         for i in 0..n {
@@ -64,7 +64,7 @@ pub fn run() -> Report {
         }
         fields
     });
-    let mut strict_db = Database::new();
+    let strict_db = Database::new();
     let cols: Vec<(&str, DataType)> = fields.iter().map(|f| (f.as_str(), DataType::Int64)).collect();
     strict_db.create_table("events", &cols).unwrap();
     let (_, strict_load) = time_it(|| {

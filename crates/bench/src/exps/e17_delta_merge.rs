@@ -59,7 +59,7 @@ pub fn run() -> Report {
     let mut merged_broad_energy = None;
     let mut reference_rows = None;
     for merged_fraction in [0.0, 0.5, 0.875, 1.0] {
-        let mut db = fresh(merged_fraction);
+        let db = fresh(merged_fraction);
         let t = db.table("orders").unwrap();
         let (segments, stored) = (t.segments().len(), t.encoded_bytes());
         let b = db.execute(&broad).unwrap();

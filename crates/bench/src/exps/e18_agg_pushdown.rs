@@ -25,7 +25,7 @@ use haecdb::prelude::*;
 const ROWS: i64 = 256 * 1024;
 
 fn fresh(merged: bool) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "orders",
         &[("id", DataType::Int64), ("region", DataType::Int64), ("amount", DataType::Int64)],
@@ -84,8 +84,8 @@ pub fn run() -> Report {
         ),
     ];
 
-    let mut flat = fresh(false);
-    let mut merged = fresh(true);
+    let flat = fresh(false);
+    let merged = fresh(true);
     let mut broad_sum = None;
     for (label, q) in &queries {
         let a = flat.execute(q).unwrap();

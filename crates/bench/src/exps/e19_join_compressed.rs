@@ -28,7 +28,7 @@ const DIM_ROWS: i64 = 4 * 1024;
 const COUNTRIES: [&str; 8] = ["de", "us", "fr", "jp", "br", "in", "cn", "au"];
 
 fn fresh() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("users", &[("uid", DataType::Int64), ("country", DataType::Str)]).unwrap();
     db.create_table(
         "orders",
@@ -128,7 +128,7 @@ pub fn run() -> Report {
     );
     r.headers(["join", "pairs", "executed E", "decode-then-join E", "ratio", "dram read"]);
 
-    let mut db = fresh();
+    let db = fresh();
     let encoded = |db: &Database, t: &str, cols: &[&str]| {
         cols.iter().map(|c| db.table(t).unwrap().column_encoded_bytes(c).unwrap() as u64).sum::<u64>()
     };

@@ -26,7 +26,7 @@ const ROWS: i64 = 128 * 1024;
 /// A merged table with two projected string columns of `ndv` distinct
 /// values each (9-byte entries), keyed by a dense ascending id.
 fn fresh(ndv: i64) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("events", &[("id", DataType::Int64), ("tag", DataType::Str), ("name", DataType::Str)])
         .unwrap();
     db.set_merge_threshold("events", usize::MAX).unwrap();

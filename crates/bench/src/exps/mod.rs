@@ -22,6 +22,7 @@ pub mod e17_delta_merge;
 pub mod e18_agg_pushdown;
 pub mod e19_join_compressed;
 pub mod e20_late_materialization;
+pub mod e21_mvcc_snapshots;
 
 use crate::report::Report;
 
@@ -51,6 +52,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e18", e18_agg_pushdown::run),
         ("e19", e19_join_compressed::run),
         ("e20", e20_late_materialization::run),
+        ("e21", e21_mvcc_snapshots::run),
         ("a01", a01_ablations::run),
     ]
 }

@@ -27,7 +27,7 @@ use crate::error::{DbError, DbResult};
 use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
 use crate::schema::{Record, TableSchema};
 use crate::segment::{zone_all_match, zone_may_match, MergeStats, SegColumn, Segment};
-use crate::table::{sparse_hits, Table};
+use crate::table::{sparse_hits, Table, TableSnapshot};
 use haec_columnar::bitmap::Bitmap;
 use haec_columnar::chunk::Chunk;
 use haec_columnar::column::Column;
@@ -46,7 +46,10 @@ use haec_exec::select::{select_metered, SelectKernel};
 use haec_planner::access::{choose_access_segmented, join_zone_overlap, AccessPath, ZoneMapMeta};
 use haec_planner::cost::{CostModel, JoinAlgo, JoinSideCost, PlanCost};
 use haec_planner::optimizer::{choose, Goal};
+use haec_txn::oracle::{Timestamp, TimestampOracle};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One conjunct of a query's WHERE clause (integer columns).
@@ -466,7 +469,7 @@ struct StrKeySpace<'a> {
 }
 
 impl<'a> StrKeySpace<'a> {
-    fn of(t: &'a Table, idx: usize) -> Self {
+    fn of(t: &'a TableSnapshot, idx: usize) -> Self {
         let global = t.global_dict(idx);
         let delta = t.delta_column(idx).and_then(Column::as_str);
         StrKeySpace { global, delta, global_len: global.map_or(0, DictColumn::dict_size) as i64 }
@@ -496,7 +499,7 @@ impl<'a> StrKeySpace<'a> {
 /// Resolves one side's string key column into `space` (the build
 /// side's), counting the dictionary lookups performed so the caller can
 /// bill the one-off remap.
-fn str_key_col(t: &Table, idx: usize, space: &StrKeySpace<'_>, lookups: &mut u64) -> KeyCol {
+fn str_key_col(t: &TableSnapshot, idx: usize, space: &StrKeySpace<'_>, lookups: &mut u64) -> KeyCol {
     let map_dict = |d: &DictColumn, lookups: &mut u64| -> Vec<i64> {
         // The build side's own global dictionary maps into itself: an
         // identity map, no lookups to run (or bill).
@@ -566,12 +569,18 @@ fn probe_prune_range(
     }
 }
 
-/// The in-memory, energy-metered database.
+/// The in-memory, energy-metered, multi-version database.
+///
+/// All methods take `&self`: a `Database` can be shared across threads
+/// (behind an `Arc`) with readers pinning immutable snapshots while
+/// writers insert and merge concurrently. Timestamps come from one
+/// shared [`TimestampOracle`]; see [`Database::begin_snapshot`] and
+/// [`Database::begin_transaction`] for multi-statement reads.
 ///
 /// ```
 /// use haecdb::prelude::*;
 ///
-/// let mut db = Database::new();
+/// let db = Database::new();
 /// db.create_table("t", &[("k", DataType::Int64), ("v", DataType::Int64)])?;
 /// db.insert("t", &Record::new().with("k", 1i64).with("v", 10i64))?;
 /// db.insert("t", &Record::new().with("k", 2i64).with("v", 20i64))?;
@@ -585,10 +594,13 @@ pub struct Database {
     machine: MachineSpec,
     estimator: CostEstimator,
     costs: KernelCosts,
-    meter: EnergyMeter,
-    tables: HashMap<String, Table>,
-    indexes: HashMap<(String, String), SecondaryIndex>,
-    goal: Goal,
+    meter: Mutex<EnergyMeter>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    indexes: Mutex<HashMap<(String, String), SecondaryIndex>>,
+    goal: Mutex<Goal>,
+    /// The shared source of all timestamps: inserts, snapshots and
+    /// transactions draw from one total order.
+    oracle: Arc<TimestampOracle>,
 }
 
 impl Database {
@@ -603,21 +615,22 @@ impl Database {
             estimator: CostEstimator::new(machine.clone()),
             machine,
             costs: KernelCosts::default_2013(),
-            meter: EnergyMeter::new(),
-            tables: HashMap::new(),
-            indexes: HashMap::new(),
-            goal: Goal::MinTime,
+            meter: Mutex::new(EnergyMeter::new()),
+            tables: RwLock::new(HashMap::new()),
+            indexes: Mutex::new(HashMap::new()),
+            goal: Mutex::new(Goal::MinTime),
+            oracle: Arc::new(TimestampOracle::new()),
         }
     }
 
     /// Sets the session optimization goal (Fig. 2's knob).
-    pub fn set_goal(&mut self, goal: Goal) {
-        self.goal = goal;
+    pub fn set_goal(&self, goal: Goal) {
+        *self.goal.lock() = goal;
     }
 
     /// The session goal.
     pub fn goal(&self) -> Goal {
-        self.goal
+        *self.goal.lock()
     }
 
     /// The machine model.
@@ -625,9 +638,20 @@ impl Database {
         &self.machine
     }
 
-    /// The cumulative energy meter.
-    pub fn meter(&self) -> &EnergyMeter {
-        &self.meter
+    /// A copy of the cumulative energy meter at this instant.
+    pub fn meter(&self) -> EnergyMeter {
+        self.meter.lock().clone()
+    }
+
+    /// The shared timestamp oracle (inserts, snapshots and transactions
+    /// all draw from it).
+    pub fn oracle(&self) -> &Arc<TimestampOracle> {
+        &self.oracle
+    }
+
+    /// Charges a resource profile to the meter and returns its estimate.
+    fn charge(&self, profile: &ResourceProfile) -> haec_energy::profile::CostEstimate {
+        self.estimator.charge(profile, self.exec_ctx(), &mut self.meter.lock())
     }
 
     /// Creates a strict-schema table.
@@ -635,12 +659,13 @@ impl Database {
     /// # Errors
     ///
     /// [`DbError::TableExists`] on name collisions.
-    pub fn create_table(&mut self, name: &str, columns: &[(&str, DataType)]) -> DbResult<()> {
-        if self.tables.contains_key(name) {
+    pub fn create_table(&self, name: &str, columns: &[(&str, DataType)]) -> DbResult<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
             return Err(DbError::TableExists(name.to_string()));
         }
         let schema = TableSchema::strict(columns.iter().map(|(n, t)| (n.to_string(), *t)).collect());
-        self.tables.insert(name.to_string(), Table::new(name, schema));
+        tables.insert(name.to_string(), Arc::new(Table::new(name, schema)));
         Ok(())
     }
 
@@ -649,41 +674,55 @@ impl Database {
     /// # Errors
     ///
     /// [`DbError::TableExists`] on name collisions.
-    pub fn create_flexible_table(&mut self, name: &str) -> DbResult<()> {
-        if self.tables.contains_key(name) {
+    pub fn create_flexible_table(&self, name: &str) -> DbResult<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
             return Err(DbError::TableExists(name.to_string()));
         }
-        self.tables.insert(name.to_string(), Table::new(name, TableSchema::flexible()));
+        tables.insert(name.to_string(), Arc::new(Table::new(name, TableSchema::flexible())));
         Ok(())
     }
 
-    /// Looks a table up.
-    pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+    /// The shared handle of one table.
+    fn handle(&self, name: &str) -> DbResult<Arc<Table>> {
+        self.tables.read().get(name).cloned().ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
-    /// Inserts one record into the table's delta tail, maintaining
-    /// indexes per their discipline. Once the delta outgrows the table's
-    /// merge threshold, a delta→main merge runs automatically (and its
-    /// re-encoding cost is charged to the meter).
+    /// A latest-state snapshot of one table (`None` if it does not
+    /// exist) — the view single-statement reads and diagnostics use.
+    pub fn table(&self, name: &str) -> Option<TableSnapshot> {
+        self.tables.read().get(name).map(|t| t.read())
+    }
+
+    /// Inserts one record into the table's delta tail, stamping it with
+    /// the next timestamp from the shared oracle and maintaining indexes
+    /// per their discipline. Returns the row's commit timestamp. Once
+    /// the delta outgrows the table's merge threshold, a delta→main
+    /// merge runs automatically (and its re-encoding cost is charged to
+    /// the meter).
     ///
     /// # Errors
     ///
     /// Propagates schema violations; unknown table is
     /// [`DbError::NoSuchTable`].
-    pub fn insert(&mut self, table: &str, record: &Record) -> DbResult<()> {
-        let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
-        let row = t.rows() as u32;
-        t.insert(record)?;
-        let needs_merge = t.needs_merge();
-        // Feed indexes on this table.
-        for ((tname, col), idx) in self.indexes.iter_mut() {
+    pub fn insert(&self, table: &str, record: &Record) -> DbResult<Timestamp> {
+        let t = self.handle(table)?;
+        // Hold the index guard across the row's publication so a reader
+        // whose pin sees the row can never miss its index entry: the
+        // index path looks up under this same mutex, and the filter
+        // `row < snapshot.rows()` discards entries for rows newer than
+        // the pin.
+        let mut indexes = self.indexes.lock();
+        let (ts, row) = t.insert(record, &self.oracle)?;
+        for ((tname, col), idx) in indexes.iter_mut() {
             if tname == table {
                 if let Some(Value::Int(key)) = record.get(col) {
                     idx.on_insert(*key, row);
                 }
             }
         }
+        drop(indexes);
+        let needs_merge = t.needs_merge();
         // Charge ingestion: one materialize per field, billing the bytes
         // each field actually writes (a string is its payload plus a
         // 4-byte dictionary code, not an 8-byte cell).
@@ -700,11 +739,11 @@ impl Database {
             dram_written: ByteCount::new(payload),
             ..ResourceProfile::default()
         };
-        self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
+        self.charge(&profile);
         if needs_merge {
             self.merge(table)?;
         }
-        Ok(())
+        Ok(ts)
     }
 
     /// Compacts `table`'s delta into compressed main segments, charging
@@ -714,8 +753,8 @@ impl Database {
     /// # Errors
     ///
     /// [`DbError::NoSuchTable`] for unknown tables.
-    pub fn merge(&mut self, table: &str) -> DbResult<MergeStats> {
-        let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+    pub fn merge(&self, table: &str) -> DbResult<MergeStats> {
+        let t = self.handle(table)?;
         let stats = t.merge();
         if stats.rows_merged > 0 {
             let values = (stats.raw_bytes / 8) as u64;
@@ -728,7 +767,7 @@ impl Database {
                 dram_written: ByteCount::new(stats.encoded_bytes as u64),
                 ..ResourceProfile::default()
             };
-            self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
+            self.charge(&profile);
         }
         Ok(stats)
     }
@@ -739,9 +778,8 @@ impl Database {
     /// # Errors
     ///
     /// [`DbError::NoSuchTable`] for unknown tables.
-    pub fn set_merge_threshold(&mut self, table: &str, rows: usize) -> DbResult<()> {
-        let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
-        t.set_merge_threshold(rows);
+    pub fn set_merge_threshold(&self, table: &str, rows: usize) -> DbResult<()> {
+        self.handle(table)?.set_merge_threshold(rows);
         Ok(())
     }
 
@@ -751,8 +789,14 @@ impl Database {
     /// # Errors
     ///
     /// Unknown table/column errors.
-    pub fn create_index(&mut self, table: &str, column: &str, maintenance: IndexMaintenance) -> DbResult<()> {
-        let t = self.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+    pub fn create_index(&self, table: &str, column: &str, maintenance: IndexMaintenance) -> DbResult<()> {
+        let handle = self.handle(table)?;
+        // Hold the index guard across backfill + registration: a
+        // concurrent insert either lands before the snapshot below (and
+        // is backfilled) or blocks on this mutex until the index is
+        // registered (and feeds it through `Database::insert`).
+        let mut indexes = self.indexes.lock();
+        let t = handle.read();
         let col = t
             .column(column)
             .ok_or_else(|| DbError::NoSuchColumn { table: table.to_string(), column: column.to_string() })?;
@@ -773,14 +817,14 @@ impl Database {
             dram_written: ByteCount::new(rows * 12), // key + row id per entry
             ..ResourceProfile::default()
         };
-        self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
-        self.indexes.insert((table.to_string(), column.to_string()), idx);
+        self.charge(&profile);
+        indexes.insert((table.to_string(), column.to_string()), idx);
         Ok(())
     }
 
     /// Work counters of an index.
     pub fn index_stats(&self, table: &str, column: &str) -> Option<IndexStats> {
-        self.indexes.get(&(table.to_string(), column.to_string())).map(|i| i.stats())
+        self.indexes.lock().get(&(table.to_string(), column.to_string())).map(|i| i.stats())
     }
 
     fn exec_ctx(&self) -> ExecutionContext {
@@ -796,12 +840,26 @@ impl Database {
     /// # Errors
     ///
     /// Unknown tables/columns, type mismatches, and malformed queries.
-    pub fn execute(&mut self, query: &Query) -> DbResult<QueryResult> {
+    pub fn execute(&self, query: &Query) -> DbResult<QueryResult> {
         if let Some(jc) = &query.join {
-            return self.execute_join(query, jc);
+            let lt = self.table(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
+            let rt = self.table(&jc.table).ok_or_else(|| DbError::NoSuchTable(jc.table.clone()))?;
+            return self.execute_join_pinned(&lt, &rt, query, jc);
         }
+        let t = self.table(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
+        self.execute_pinned(&t, query, true)
+    }
+
+    /// Executes a single-table query against one pinned
+    /// [`TableSnapshot`] — the shared engine behind [`Database::execute`]
+    /// (latest-state pin), [`DbSnapshot::execute`] (timestamped pin) and
+    /// [`DbTransaction::execute`] (pin + write overlay). Only rows
+    /// visible in the snapshot are evaluated; index entries for rows
+    /// newer than the pin are filtered out by global row id.
+    /// `use_indexes` is off for overlay views, whose pending rows the
+    /// live indexes do not cover.
+    fn execute_pinned(&self, t: &TableSnapshot, query: &Query, use_indexes: bool) -> DbResult<QueryResult> {
         let started = std::time::Instant::now();
-        let t = self.tables.get(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
         let mut profile = ResourceProfile::default();
         let mut access_path = None;
 
@@ -812,9 +870,10 @@ impl Database {
         // --- access path for the first filter -------------------------
         let mut positions: Option<Vec<u32>> = None;
         let mut remaining: &[IntPred] = &int_preds;
-        if let Some(first) = query.filters.first() {
+        if let Some(first) = query.filters.first().filter(|_| use_indexes) {
             let key = (query.table.clone(), first.column.clone());
-            if self.indexes.contains_key(&key) && first.op == CmpOp::Eq {
+            let mut indexes = self.indexes.lock();
+            if indexes.contains_key(&key) && first.op == CmpOp::Eq {
                 // Cost both paths against the *compressed* footprint and
                 // zone maps, pick per the session goal.
                 let mut meta = t.planner_meta();
@@ -845,11 +904,15 @@ impl Database {
                 // access work alone, so an index that dominates the scan
                 // is never abandoned for being part of an over-budget
                 // whole.
-                let pick =
-                    choose(&candidates, self.goal).or_else(|_| choose(&access, self.goal)).unwrap_or(0);
+                let goal = self.goal();
+                let pick = choose(&candidates, goal).or_else(|_| choose(&access, goal)).unwrap_or(0);
                 if pick == 1 && decision.index_cost.is_some() {
-                    let idx = self.indexes.get_mut(&key).expect("checked above");
+                    let idx = indexes.get_mut(&key).expect("checked above");
                     let mut rows = idx.lookup(first.literal);
+                    // The index is live; the snapshot is not. Entries
+                    // for rows committed after the pin (always a suffix
+                    // of global row ids) are invisible here.
+                    rows.retain(|&r| (r as usize) < t.rows());
                     rows.sort_unstable();
                     profile.cpu_cycles +=
                         self.costs.cycles_for(Kernel::IndexLookup, rows.len().max(1) as u64);
@@ -862,7 +925,6 @@ impl Database {
                 }
             }
         }
-        let t = self.tables.get(&query.table).expect("still present");
 
         match &mut positions {
             Some(pos) => {
@@ -966,12 +1028,14 @@ impl Database {
         };
 
         // --- metering ---------------------------------------------------
-        let before = self.meter.snapshot();
-        let est = self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
-        let delta = self.meter.since(&before);
+        // The query's own cost estimate *is* its energy (identical to
+        // the meter delta when single-threaded, and — unlike a meter
+        // delta — not polluted by concurrent queries charging the same
+        // shared meter).
+        let est = self.charge(&profile);
         Ok(QueryResult {
             rows: out,
-            energy: delta.grand_total(),
+            energy: est.energy,
             modeled_time: est.time,
             wall_time: started.elapsed(),
             access_path,
@@ -989,18 +1053,22 @@ impl Database {
     /// against the build side's key range (the join-specific zone
     /// intersection of [`haec_planner::access::join_zone_overlap`]),
     /// and payload columns are gathered late — only for surviving
-    /// `(build_row, probe_row)` pairs — via [`Table::gather_rows`].
+    /// `(build_row, probe_row)` pairs — via [`TableSnapshot::gather_rows`].
     ///
     /// A main column is **never** materialized for its join keys; the
     /// meter is billed the encoded bytes streamed, the hash build/probe
     /// (or sort) cycles including bucket traffic, and the gather.
-    fn execute_join(&mut self, query: &Query, jc: &JoinClause) -> DbResult<QueryResult> {
+    fn execute_join_pinned(
+        &self,
+        lt: &TableSnapshot,
+        rt: &TableSnapshot,
+        query: &Query,
+        jc: &JoinClause,
+    ) -> DbResult<QueryResult> {
         let started = std::time::Instant::now();
         if query.group_by.is_some() || query.agg.is_some() {
             return Err(DbError::BadQuery("aggregates over joins are not supported yet".into()));
         }
-        let lt = self.tables.get(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
-        let rt = self.tables.get(&jc.table).ok_or_else(|| DbError::NoSuchTable(jc.table.clone()))?;
         let mut profile = ResourceProfile::default();
 
         // --- key columns: both int, or both string --------------------
@@ -1073,7 +1141,7 @@ impl Database {
         let decision = model.join_compressed(&lcost, &rcost, l_rows.max(r_rows));
         // Respect the session goal when the algorithms trade time for
         // energy (same knob as scan-vs-index).
-        let algo = match choose(&[decision.hash_cost, decision.merge_cost], self.goal) {
+        let algo = match choose(&[decision.hash_cost, decision.merge_cost], self.goal()) {
             Ok(1) => JoinAlgo::SortMerge,
             _ => JoinAlgo::Hash,
         };
@@ -1164,12 +1232,12 @@ impl Database {
         let out = Chunk::new(cols).map_err(|e| DbError::BadQuery(format!("join output: {e}")))?;
 
         // --- metering -------------------------------------------------
-        let before = self.meter.snapshot();
-        let est = self.estimator.charge(&profile, self.exec_ctx(), &mut self.meter);
-        let delta = self.meter.since(&before);
+        // Like `execute_pinned`: the estimate is the query's energy,
+        // race-free under concurrent charging.
+        let est = self.charge(&profile);
         Ok(QueryResult {
             rows: out,
-            energy: delta.grand_total(),
+            energy: est.energy,
             modeled_time: est.time,
             wall_time: started.elapsed(),
             access_path: None,
@@ -1180,16 +1248,16 @@ impl Database {
     /// Gathers one side's payload columns for its surviving join rows,
     /// billing the work. Strictly ascending row lists — the unique-key
     /// (FK) probe side, where pairs come back in probe-row order — take
-    /// the dense ordered path of [`Table::materialize_columns`];
+    /// the dense ordered path of [`TableSnapshot::materialize_columns`];
     /// everything else (scattered build rows, duplicate keys) goes
-    /// through the positional [`Table::gather_rows`]. Both report the
+    /// through the positional [`TableSnapshot::gather_rows`]. Both report the
     /// work they actually did (whole-segment stream-decodes when hits
     /// pass the density crossover, compressed random access when
     /// sparse, code-to-code string gathers) as
     /// [`crate::table::GatherStats`], billed here.
     fn gather_join_side(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         names: &[String],
         rows: &[u32],
     ) -> DbResult<(Vec<(String, Column)>, ResourceProfile)> {
@@ -1214,7 +1282,7 @@ impl Database {
     /// misses `prune` are skipped without touching a byte.
     fn extract_join_keys(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         key: &KeyCol,
         positions: Option<&[u32]>,
         prune: Option<(i64, i64)>,
@@ -1247,7 +1315,7 @@ impl Database {
     /// hit, and the output pairs vector.
     fn probe_hash_join(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         key: &KeyCol,
         positions: Option<&[u32]>,
         prune: Option<(i64, i64)>,
@@ -1294,7 +1362,7 @@ impl Database {
     /// is the caller's to bill.
     fn unit_join_keys(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         u: usize,
         key: &KeyCol,
         hits: Option<&[u32]>,
@@ -1428,7 +1496,7 @@ impl Database {
     /// morsels over real threads.
     fn scan_segmented(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         int_preds: &[IntPred],
         str_preds: &[StrPred],
     ) -> (Vec<u32>, ResourceProfile) {
@@ -1457,7 +1525,7 @@ impl Database {
     /// dispatched as one-unit morsels over real threads. Both the scan
     /// and the aggregation pushdown go through here, so they can never
     /// disagree on parallel granularity.
-    fn eval_units<R>(&self, t: &Table, eval: impl Fn(usize) -> R + Sync) -> Vec<R>
+    fn eval_units<R>(&self, t: &TableSnapshot, eval: impl Fn(usize) -> R + Sync) -> Vec<R>
     where
         R: Send + Clone,
     {
@@ -1489,7 +1557,7 @@ impl Database {
     /// One segment's worth of predicate evaluation, on compressed data.
     fn eval_segment(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         si: usize,
         int_preds: &[IntPred],
         str_preds: &[StrPred],
@@ -1572,7 +1640,7 @@ impl Database {
     /// pre-segmentation scan path (one chunk = one parallel unit).
     fn eval_delta(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         start: usize,
         end: usize,
         int_preds: &[IntPred],
@@ -1638,7 +1706,7 @@ impl Database {
     /// paths bill decode cycles plus the encoded bytes actually read.
     fn aggregate_segmented(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         spec: AggSpec<'_>,
         positions: Option<&[u32]>,
     ) -> (AggAcc, ResourceProfile) {
@@ -1669,7 +1737,7 @@ impl Database {
     /// data (or from zone metadata when possible).
     fn agg_segment(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         si: usize,
         spec: AggSpec<'_>,
         hits: Option<&[u32]>,
@@ -1887,7 +1955,7 @@ impl Database {
     /// folds with the existing kernels (dense column slices, no decode).
     fn agg_delta(
         &self,
-        t: &Table,
+        t: &TableSnapshot,
         start: usize,
         end: usize,
         spec: AggSpec<'_>,
@@ -1962,6 +2030,42 @@ impl Database {
         profile.dram_read += ByteCount::new(inspected * (key_bytes + value_bytes));
         (AggAcc::Grouped(map), profile)
     }
+
+    /// Pins a consistent multi-table snapshot: one timestamp from the
+    /// shared oracle, every table pinned at it. Queries through the
+    /// returned [`DbSnapshot`] all see exactly the rows committed before
+    /// that timestamp, however many inserts and merges run concurrently.
+    ///
+    /// If a concurrent merge folds rows newer than the drawn timestamp
+    /// into a table's segments between the draw and the pin, the whole
+    /// pin retries with a fresh timestamp (segments carry no per-row
+    /// timestamps, so the older cut is no longer servable) — readers
+    /// spin briefly instead of ever blocking a writer.
+    pub fn begin_snapshot(&self) -> DbSnapshot<'_> {
+        let tables = self.tables.read();
+        'retry: loop {
+            let ts = self.oracle.next();
+            let mut pinned = HashMap::with_capacity(tables.len());
+            for (name, t) in tables.iter() {
+                match t.pin_at(ts) {
+                    Some(s) => {
+                        pinned.insert(name.clone(), s);
+                    }
+                    None => continue 'retry,
+                }
+            }
+            return DbSnapshot { db: self, ts, tables: pinned };
+        }
+    }
+
+    /// Begins a transaction: a pinned [`DbSnapshot`] plus a private
+    /// write overlay. Reads see the snapshot **and** the transaction's
+    /// own uncommitted writes (in the spirit of the `haec_txn`
+    /// database-conversation model); nothing is visible to others until
+    /// [`DbTransaction::commit`].
+    pub fn begin_transaction(&self) -> DbTransaction<'_> {
+        DbTransaction { snapshot: self.begin_snapshot(), writes: Vec::new() }
+    }
 }
 
 impl Default for Database {
@@ -1970,10 +2074,147 @@ impl Default for Database {
     }
 }
 
+/// A consistent read view of the whole database as of one timestamp
+/// (see [`Database::begin_snapshot`]).
+///
+/// Holding a `DbSnapshot` keeps the pinned table versions alive (via
+/// their `Arc`s) but blocks nobody: writers keep inserting, merges keep
+/// swapping segment sets; the old sets are reclaimed when the last
+/// snapshot pinning them drops.
+#[derive(Debug)]
+pub struct DbSnapshot<'a> {
+    db: &'a Database,
+    ts: Timestamp,
+    tables: HashMap<String, TableSnapshot>,
+}
+
+impl DbSnapshot<'_> {
+    /// The snapshot's timestamp: exactly the rows with commit timestamp
+    /// ≤ this are visible.
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The pinned view of one table (`None` if it did not exist at the
+    /// pin).
+    pub fn table(&self, name: &str) -> Option<&TableSnapshot> {
+        self.tables.get(name)
+    }
+
+    /// Executes a query against the pinned state. Work is charged to
+    /// the database's meter as usual; the result's `energy` is the
+    /// query's own cost, unpolluted by concurrent queries.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Database::execute`]; tables created
+    /// after the pin are invisible ([`DbError::NoSuchTable`]).
+    pub fn execute(&self, query: &Query) -> DbResult<QueryResult> {
+        if let Some(jc) = &query.join {
+            let lt = self.table(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
+            let rt = self.table(&jc.table).ok_or_else(|| DbError::NoSuchTable(jc.table.clone()))?;
+            return self.db.execute_join_pinned(lt, rt, query, jc);
+        }
+        let t = self.table(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
+        self.db.execute_pinned(t, query, true)
+    }
+}
+
+/// A transaction: a pinned snapshot plus a private write overlay, giving
+/// read-your-own-writes on top of snapshot isolation (see
+/// [`Database::begin_transaction`]).
+#[derive(Debug)]
+pub struct DbTransaction<'a> {
+    snapshot: DbSnapshot<'a>,
+    writes: Vec<(String, Record)>,
+}
+
+impl DbTransaction<'_> {
+    /// The transaction's snapshot timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        self.snapshot.ts
+    }
+
+    /// Number of buffered (uncommitted) writes.
+    pub fn pending_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Buffers one insert in the transaction's private overlay. The row
+    /// is visible to this transaction's own reads immediately, and to
+    /// nobody else until [`DbTransaction::commit`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] if the table did not exist at the pin.
+    pub fn insert(&mut self, table: &str, record: Record) -> DbResult<()> {
+        if !self.snapshot.tables.contains_key(table) {
+            return Err(DbError::NoSuchTable(table.to_string()));
+        }
+        self.writes.push((table.to_string(), record));
+        Ok(())
+    }
+
+    /// The pinned base snapshot of one table overlaid with this
+    /// transaction's pending rows for it.
+    fn overlay(&self, table: &str) -> DbResult<TableSnapshot> {
+        let base = self.snapshot.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let pending: Vec<Record> =
+            self.writes.iter().filter(|(t, _)| t == table).map(|(_, r)| r.clone()).collect();
+        if pending.is_empty() {
+            Ok(base.clone())
+        } else {
+            base.with_pending(&pending)
+        }
+    }
+
+    /// Executes a query against the snapshot **plus** this transaction's
+    /// own uncommitted writes.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Database::execute`]; overlay rows that
+    /// violate the schema surface here.
+    pub fn execute(&self, query: &Query) -> DbResult<QueryResult> {
+        let lt = self.overlay(&query.table)?;
+        if let Some(jc) = &query.join {
+            let rt = self.overlay(&jc.table)?;
+            return self.snapshot.db.execute_join_pinned(&lt, &rt, query, jc);
+        }
+        // Overlay rows are invisible to the live indexes — stay off the
+        // index path so read-your-own-writes holds on every plan.
+        self.snapshot.db.execute_pinned(&lt, query, false)
+    }
+
+    /// Commits the overlay: every buffered write replays through
+    /// [`Database::insert`], each drawing a fresh commit timestamp.
+    /// Returns the last commit timestamp (the snapshot's timestamp when
+    /// the transaction wrote nothing).
+    ///
+    /// # Errors
+    ///
+    /// A write that fails validation (e.g. against a schema that
+    /// evolved since the pin) aborts the replay; earlier writes of this
+    /// transaction stay committed — callers that need atomicity must
+    /// pre-validate, as the overlay's own `execute` does.
+    pub fn commit(self) -> DbResult<Timestamp> {
+        let mut last = self.snapshot.ts;
+        for (table, record) in &self.writes {
+            last = self.snapshot.db.insert(table, record)?;
+        }
+        Ok(last)
+    }
+
+    /// Discards the overlay; the database is untouched.
+    pub fn rollback(self) {
+        drop(self);
+    }
+}
+
 /// Delta rows `[start, end)` of delta chunk `c` — the
 /// [`crate::segment::SEGMENT_ROWS`]-sized execution units an oversized
 /// (merge-disabled) delta is split into (see `Database::eval_units`).
-fn delta_chunk(t: &Table, c: usize) -> (usize, usize) {
+fn delta_chunk(t: &TableSnapshot, c: usize) -> (usize, usize) {
     let start = c * crate::segment::SEGMENT_ROWS;
     (start, (start + crate::segment::SEGMENT_ROWS).min(t.delta_rows()))
 }
@@ -1981,7 +2222,7 @@ fn delta_chunk(t: &Table, c: usize) -> (usize, usize) {
 /// Splits an ascending global-position list into per-unit slices — one
 /// per main segment, then one per delta chunk — so aggregation pushdown
 /// and join-key extraction hand each execution unit exactly its hits.
-fn split_unit_hits<'p>(t: &Table, positions: Option<&'p [u32]>) -> Option<Vec<&'p [u32]>> {
+fn split_unit_hits<'p>(t: &TableSnapshot, positions: Option<&'p [u32]>) -> Option<Vec<&'p [u32]>> {
     positions.map(|pos| {
         let nsegs = t.segments().len();
         let units = nsegs + t.delta_rows().div_ceil(crate::segment::SEGMENT_ROWS);
@@ -2011,8 +2252,8 @@ fn split_unit_hits<'p>(t: &Table, positions: Option<&'p [u32]>) -> Option<Vec<&'
 fn resolve_join_outputs(
     query: &Query,
     jc: &JoinClause,
-    lt: &Table,
-    rt: &Table,
+    lt: &TableSnapshot,
+    rt: &TableSnapshot,
 ) -> DbResult<Vec<(bool, String, String)>> {
     match &query.select {
         None => {
@@ -2065,7 +2306,7 @@ fn resolve_join_outputs(
 /// projections without string columns.
 fn str_projection_cost(
     model: &CostModel,
-    t: &Table,
+    t: &TableSnapshot,
     meta: &haec_planner::catalog::TableMeta,
     query: &Query,
     sel: f64,
@@ -2107,7 +2348,7 @@ fn agg_value_column<K>(grouped: &[(K, AggState)], kind: AggKind) -> Column {
 /// Resolves a group-by column: integer columns group on values, string
 /// columns on dictionary codes (see [`GroupCol::Str`] for the unified
 /// key space spanning the global and delta-local dictionaries).
-fn resolve_group_col(t: &Table, table: &str, name: &str) -> DbResult<GroupCol> {
+fn resolve_group_col(t: &TableSnapshot, table: &str, name: &str) -> DbResult<GroupCol> {
     let idx = t
         .schema()
         .position(name)
@@ -2140,7 +2381,7 @@ fn resolve_group_col(t: &Table, table: &str, name: &str) -> DbResult<GroupCol> {
 }
 
 /// Decodes a unified string-group key back to its string.
-fn decode_group_key(t: &Table, col: usize, global_len: usize, key: i64) -> String {
+fn decode_group_key(t: &TableSnapshot, col: usize, global_len: usize, key: i64) -> String {
     if key == SENTINEL_STR_KEY {
         return String::new();
     }
@@ -2154,7 +2395,7 @@ fn decode_group_key(t: &Table, col: usize, global_len: usize, key: i64) -> Strin
     s.expect("group key decodes through its dictionary").to_string()
 }
 
-fn check_int_column(t: &Table, table: &str, name: &str) -> DbResult<usize> {
+fn check_int_column(t: &TableSnapshot, table: &str, name: &str) -> DbResult<usize> {
     let idx = t
         .schema()
         .position(name)
@@ -2165,7 +2406,7 @@ fn check_int_column(t: &Table, table: &str, name: &str) -> DbResult<usize> {
     Ok(idx)
 }
 
-fn resolve_int_preds(t: &Table, table: &str, filters: &[Filter]) -> DbResult<Vec<IntPred>> {
+fn resolve_int_preds(t: &TableSnapshot, table: &str, filters: &[Filter]) -> DbResult<Vec<IntPred>> {
     filters
         .iter()
         .map(|f| {
@@ -2175,7 +2416,7 @@ fn resolve_int_preds(t: &Table, table: &str, filters: &[Filter]) -> DbResult<Vec
         .collect()
 }
 
-fn resolve_str_preds(t: &Table, table: &str, filters: &[StrFilter]) -> DbResult<Vec<StrPred>> {
+fn resolve_str_preds(t: &TableSnapshot, table: &str, filters: &[StrFilter]) -> DbResult<Vec<StrPred>> {
     filters
         .iter()
         .map(|f| {
@@ -2199,7 +2440,7 @@ mod tests {
     use crate::segment::SEGMENT_ROWS;
 
     fn sample_db(rows: i64) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "orders",
             &[("id", DataType::Int64), ("region", DataType::Int64), ("amount", DataType::Int64)],
@@ -2214,7 +2455,7 @@ mod tests {
 
     #[test]
     fn filter_and_project() {
-        let mut db = sample_db(100);
+        let db = sample_db(100);
         let out = db.execute(&Query::scan("orders").filter("amount", CmpOp::Lt, 30).select(["id"])).unwrap();
         assert_eq!(out.rows.rows(), 10);
         assert_eq!(out.rows.width(), 1);
@@ -2223,7 +2464,7 @@ mod tests {
 
     #[test]
     fn conjunctive_filters() {
-        let mut db = sample_db(100);
+        let db = sample_db(100);
         let out = db
             .execute(&Query::scan("orders").filter("region", CmpOp::Eq, 1).filter("amount", CmpOp::Lt, 60))
             .unwrap();
@@ -2233,7 +2474,7 @@ mod tests {
 
     #[test]
     fn global_and_grouped_aggregates() {
-        let mut db = sample_db(100);
+        let db = sample_db(100);
         let out = db.execute(&Query::scan("orders").aggregate(AggKind::Sum, "amount")).unwrap();
         let want: i64 = (0..100).map(|i| i * 3).sum();
         assert_eq!(out.rows.row(0).unwrap()[0].as_float(), Some(want as f64));
@@ -2258,10 +2499,10 @@ mod tests {
             Query::scan("orders").group_by("region").aggregate(AggKind::Sum, "amount"),
             Query::scan("orders").filter("amount", CmpOp::Ne, 0).aggregate(AggKind::Max, "id"),
         ];
-        let mut flat = sample_db(1000);
-        let mut seg = sample_db(1000);
+        let flat = sample_db(1000);
+        let seg = sample_db(1000);
         seg.merge("orders").unwrap();
-        let mut mixed = Database::new();
+        let mixed = Database::new();
         mixed
             .create_table(
                 "orders",
@@ -2291,7 +2532,7 @@ mod tests {
 
     #[test]
     fn merge_is_metered_and_auto_triggers() {
-        let mut db = sample_db(10);
+        let db = sample_db(10);
         db.set_merge_threshold("orders", 50).unwrap();
         let before = db.meter().grand_total();
         let stats = db.merge("orders").unwrap();
@@ -2316,7 +2557,7 @@ mod tests {
         // Sorted ids split across segments: a range predicate touching
         // one segment must cost measurably less than one touching all.
         // Build a 4-segment table by merging every 250 rows.
-        let mut seg_db = Database::new();
+        let seg_db = Database::new();
         seg_db
             .create_table(
                 "orders",
@@ -2355,7 +2596,7 @@ mod tests {
 
     #[test]
     fn index_is_used_for_point_queries() {
-        let mut db = sample_db(50_000);
+        let db = sample_db(50_000);
         db.create_index("orders", "id", IndexMaintenance::Eager).unwrap();
         let out = db.execute(&Query::scan("orders").filter("id", CmpOp::Eq, 123)).unwrap();
         assert_eq!(out.rows.rows(), 1);
@@ -2367,7 +2608,7 @@ mod tests {
     fn index_works_across_merged_segments() {
         // Row ids are stable across merges, so an index built before a
         // merge keeps answering correctly after it.
-        let mut db = sample_db(50_000);
+        let db = sample_db(50_000);
         db.create_index("orders", "id", IndexMaintenance::Eager).unwrap();
         db.merge("orders").unwrap();
         let out = db
@@ -2382,7 +2623,7 @@ mod tests {
 
     #[test]
     fn scan_chosen_without_index() {
-        let mut db = sample_db(1000);
+        let db = sample_db(1000);
         let out = db.execute(&Query::scan("orders").filter("id", CmpOp::Eq, 5)).unwrap();
         assert_eq!(out.rows.rows(), 1);
         assert_eq!(out.access_path, None, "no index: no access decision");
@@ -2390,9 +2631,9 @@ mod tests {
 
     #[test]
     fn index_and_scan_agree() {
-        let mut with_idx = sample_db(10_000);
+        let with_idx = sample_db(10_000);
         with_idx.create_index("orders", "region", IndexMaintenance::Eager).unwrap();
-        let mut without = sample_db(10_000);
+        let without = sample_db(10_000);
         let q = Query::scan("orders").filter("region", CmpOp::Eq, 2).aggregate(AggKind::Sum, "amount");
         let a = with_idx.execute(&q).unwrap();
         let b = without.execute(&q).unwrap();
@@ -2401,7 +2642,7 @@ mod tests {
 
     #[test]
     fn energy_goal_changes_nothing_single_node_but_is_respected() {
-        let mut db = sample_db(10_000);
+        let db = sample_db(10_000);
         db.create_index("orders", "id", IndexMaintenance::Eager).unwrap();
         db.set_goal(Goal::MinEnergy);
         assert_eq!(db.goal(), Goal::MinEnergy);
@@ -2416,7 +2657,7 @@ mod tests {
         // when it pushes both past an energy budget, the planner must
         // fall back to ranking the access work alone instead of
         // silently defaulting to the (strictly worse) full scan.
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("users", &[("id", DataType::Int64), ("country", DataType::Str)]).unwrap();
         for i in 0..50_000i64 {
             db.insert(
@@ -2436,7 +2677,7 @@ mod tests {
         let model = CostModel::new(db.machine().clone()).with_kernel_costs(db.costs.clone());
         let decision = choose_access_segmented(&model, &meta, "id", CmpOp::Eq, 123, &zones, encoded);
         let q = Query::scan("users").filter("id", CmpOp::Eq, 123);
-        let project = str_projection_cost(&model, t, &meta, &q, decision.selectivity);
+        let project = str_projection_cost(&model, &t, &meta, &q, decision.selectivity);
         assert!(project.energy.joules() > 0.0, "string projection must cost something");
         let index = decision.index_cost.expect("point predicate on an indexed column");
         let budget = Joules::new(index.energy.joules() + project.energy.joules() / 2.0);
@@ -2449,7 +2690,7 @@ mod tests {
 
     #[test]
     fn meter_accumulates_across_queries() {
-        let mut db = sample_db(1000);
+        let db = sample_db(1000);
         let before = db.meter().grand_total();
         db.execute(&Query::scan("orders").aggregate(AggKind::Sum, "amount")).unwrap();
         let mid = db.meter().grand_total();
@@ -2461,7 +2702,7 @@ mod tests {
 
     #[test]
     fn error_paths() {
-        let mut db = sample_db(10);
+        let db = sample_db(10);
         assert!(matches!(db.execute(&Query::scan("nope")), Err(DbError::NoSuchTable(_))));
         assert!(matches!(
             db.execute(&Query::scan("orders").filter("ghost", CmpOp::Eq, 1)),
@@ -2476,7 +2717,7 @@ mod tests {
 
     #[test]
     fn string_filters_on_dictionary_codes() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("users", &[("id", DataType::Int64), ("country", DataType::Str)]).unwrap();
         let countries = ["de", "us", "fr", "de", "de", "jp"];
         for (i, c) in countries.iter().enumerate() {
@@ -2515,7 +2756,7 @@ mod tests {
 
     #[test]
     fn string_projection_reaches_client_as_codes() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("users", &[("id", DataType::Int64), ("country", DataType::Str)]).unwrap();
         let countries = ["de", "us", "fr", "de", "de", "jp"];
         for i in 0..1200i64 {
@@ -2556,7 +2797,7 @@ mod tests {
         // has produced multiple 64K segments by now); results must be
         // identical to the serial reference.
         let rows = (super::PARALLEL_SCAN_ROWS + 10_000) as i64;
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("big", &[("v", DataType::Int64)]).unwrap();
         for i in 0..rows {
             db.insert("big", &Record::new().with("v", (i * 31) % 1000)).unwrap();
@@ -2576,8 +2817,8 @@ mod tests {
     fn projection_skips_unprojected_columns() {
         // Same filter, narrower projection → strictly less energy
         // (fewer columns materialized and written).
-        let mut wide = sample_db(50_000);
-        let mut narrow = sample_db(50_000);
+        let wide = sample_db(50_000);
+        let narrow = sample_db(50_000);
         let all = wide.execute(&Query::scan("orders").filter("amount", CmpOp::Lt, 60_000)).unwrap();
         let one = narrow
             .execute(&Query::scan("orders").filter("amount", CmpOp::Lt, 60_000).select(["id"]))
@@ -2593,7 +2834,7 @@ mod tests {
         // delta. Compressible data → fewer DRAM bytes → less energy.
         let rows = (SEGMENT_ROWS * 2) as i64;
         let mk = || {
-            let mut db = Database::new();
+            let db = Database::new();
             db.create_table("t", &[("ts", DataType::Int64), ("v", DataType::Int64)]).unwrap();
             db.set_merge_threshold("t", usize::MAX).unwrap();
             for i in 0..rows {
@@ -2601,8 +2842,8 @@ mod tests {
             }
             db
         };
-        let mut flat = mk();
-        let mut merged = mk();
+        let flat = mk();
+        let merged = mk();
         merged.merge("t").unwrap();
         let q = Query::scan("t").filter("v", CmpOp::Lt, 4).aggregate(AggKind::Count, "v");
         let a = flat.execute(&q).unwrap();
@@ -2618,7 +2859,7 @@ mod tests {
 
     #[test]
     fn segment_aggregation_is_metered_and_zone_answered() {
-        let mut db = sample_db(10_000);
+        let db = sample_db(10_000);
         db.merge("orders").unwrap();
         // Pushed-down SUM streams the encoded column: nonzero decode
         // cycles and encoded-byte DRAM traffic must be billed…
@@ -2646,7 +2887,7 @@ mod tests {
         // Above PARALLEL_SCAN_ROWS the aggregation dispatches segments as
         // morsels; answers must equal the small/serial reference shape.
         let rows = (super::PARALLEL_SCAN_ROWS + 5_000) as i64;
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("big", &[("g", DataType::Int64), ("v", DataType::Int64)]).unwrap();
         for i in 0..rows {
             db.insert("big", &Record::new().with("g", i % 7).with("v", i % 100)).unwrap();
@@ -2667,7 +2908,7 @@ mod tests {
 
     #[test]
     fn group_by_string_column_on_dictionary_codes() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("users", &[("country", DataType::Str), ("score", DataType::Int64)]).unwrap();
         let data = [("de", 10), ("us", 20), ("de", 30), ("fr", 5), ("us", 7), ("de", 2)];
         for (c, s) in data {
@@ -2696,7 +2937,7 @@ mod tests {
             }
         }
         // Grouping on a float column stays an error.
-        let mut fdb = Database::new();
+        let fdb = Database::new();
         fdb.create_table("t", &[("f", DataType::Float64), ("v", DataType::Int64)]).unwrap();
         assert!(matches!(
             fdb.execute(&Query::scan("t").group_by("f").aggregate(AggKind::Sum, "v")),
@@ -2706,7 +2947,7 @@ mod tests {
 
     #[test]
     fn create_index_backfill_is_metered() {
-        let mut db = sample_db(5_000);
+        let db = sample_db(5_000);
         db.merge("orders").unwrap();
         let before = db.meter().grand_total();
         db.create_index("orders", "id", IndexMaintenance::Eager).unwrap();
@@ -2715,7 +2956,7 @@ mod tests {
 
     #[test]
     fn insert_bills_string_payload_bytes() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("t", &[("s", DataType::Str)]).unwrap();
         db.insert("t", &Record::new().with("s", "x")).unwrap();
         let short = db.meter().grand_total().joules();
@@ -2727,7 +2968,7 @@ mod tests {
     /// A two-table schema for join tests: a small dimension table and a
     /// larger fact table, with both int and string join keys.
     fn join_dbs(users: i64, orders: i64) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("users", &[("uid", DataType::Int64), ("country", DataType::Str)]).unwrap();
         db.create_table(
             "orders",
@@ -2769,7 +3010,7 @@ mod tests {
             .collect();
         // Flat, fully merged, and mixed main/delta on both tables.
         for stage in 0..3 {
-            let mut db = join_dbs(40, 100);
+            let db = join_dbs(40, 100);
             if stage >= 1 {
                 db.merge("users").unwrap();
                 db.merge("orders").unwrap();
@@ -2806,7 +3047,7 @@ mod tests {
         // Join on the string column: codes remap across the two tables'
         // dictionaries (interned in different orders), including values
         // fresh in one side's delta.
-        let mut db = join_dbs(8, 40);
+        let db = join_dbs(8, 40);
         db.merge("users").unwrap();
         db.merge("orders").unwrap();
         // Fresh post-merge values on both sides: "br" only joins via the
@@ -2851,7 +3092,7 @@ mod tests {
         // what the flat 8 B/row keys alone would cost.
         let rows = 2 * SEGMENT_ROWS as i64;
         let dim = 1024i64;
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("d", &[("k", DataType::Int64), ("tag", DataType::Str)]).unwrap();
         db.create_table("f", &[("fk", DataType::Int64), ("v", DataType::Int64)]).unwrap();
         db.set_merge_threshold("d", usize::MAX).unwrap();
@@ -2887,7 +3128,7 @@ mod tests {
         // only the first quarter must leave 3 probe segments untouched,
         // which shows up directly in the bytes billed.
         let mk = |dim_hi: i64| {
-            let mut db = Database::new();
+            let db = Database::new();
             db.create_table("d", &[("k", DataType::Int64)]).unwrap();
             db.create_table("f", &[("fk", DataType::Int64), ("v", DataType::Int64)]).unwrap();
             db.set_merge_threshold("d", usize::MAX).unwrap();
@@ -2905,8 +3146,8 @@ mod tests {
             db
         };
         let q = Query::scan("f").join("d", "fk", "k").select(["fk"]);
-        let mut narrow = mk(2); // keys {0, 97}: only segment 1 of f can match
-        let mut broad = mk(11); // keys up to 970: every segment survives
+        let narrow = mk(2); // keys {0, 97}: only segment 1 of f can match
+        let broad = mk(11); // keys up to 970: every segment survives
         let n = narrow.execute(&q).unwrap();
         let b = broad.execute(&q).unwrap();
         assert_eq!(n.rows.rows(), 2);
@@ -2922,7 +3163,7 @@ mod tests {
 
     #[test]
     fn join_with_filters_on_both_sides_and_self_join() {
-        let mut db = join_dbs(40, 100);
+        let db = join_dbs(40, 100);
         db.merge("users").unwrap();
         let out = db
             .execute(
@@ -2963,7 +3204,7 @@ mod tests {
         // i64::MIN is a legitimate integer join key, not the string
         // NO_KEY sentinel — it must join on every storage layout.
         for merged in [false, true] {
-            let mut db = Database::new();
+            let db = Database::new();
             db.create_table("a", &[("k", DataType::Int64), ("v", DataType::Int64)]).unwrap();
             db.create_table("b", &[("k", DataType::Int64), ("w", DataType::Int64)]).unwrap();
             for (k, v) in [(i64::MIN, 1i64), (-1, 2), (0, 3), (i64::MAX, 4)] {
@@ -2993,7 +3234,7 @@ mod tests {
         // Employee → boss self-join: "u.uid" must name the RIGHT
         // occurrence (the boss), exactly as the default projection
         // labels it.
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("u", &[("uid", DataType::Int64), ("boss", DataType::Int64)]).unwrap();
         db.insert("u", &Record::new().with("uid", 1i64).with("boss", 2i64)).unwrap();
         db.insert("u", &Record::new().with("uid", 2i64).with("boss", 2i64)).unwrap();
@@ -3016,8 +3257,8 @@ mod tests {
         // MinEnergy may pick a different algorithm; answers must not
         // change.
         let q = Query::scan("orders").join("users", "user_id", "uid").select(["amount"]);
-        let mut a = join_dbs(30, 500);
-        let mut b = join_dbs(30, 500);
+        let a = join_dbs(30, 500);
+        let b = join_dbs(30, 500);
         b.set_goal(Goal::MinEnergy);
         let ra = a.execute(&q).unwrap();
         let rb = b.execute(&q).unwrap();
@@ -3038,7 +3279,7 @@ mod tests {
 
     #[test]
     fn join_error_paths() {
-        let mut db = join_dbs(4, 8);
+        let db = join_dbs(4, 8);
         assert!(matches!(
             db.execute(&Query::scan("orders").join("nope", "user_id", "uid")),
             Err(DbError::NoSuchTable(_))
@@ -3069,7 +3310,7 @@ mod tests {
         // pushdown folds each segment into a single state without
         // reading the key column at all — the billed traffic stays at
         // the value column's encoded bytes.
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("t", &[("g", DataType::Int64), ("v", DataType::Int64)]).unwrap();
         db.set_merge_threshold("t", usize::MAX).unwrap();
         let per = SEGMENT_ROWS as i64;
@@ -3101,7 +3342,7 @@ mod tests {
 
     #[test]
     fn flexible_ingest_then_query() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_flexible_table("events").unwrap();
         db.insert("events", &Record::new().with("user", 1i64)).unwrap();
         db.insert("events", &Record::new().with("user", 2i64).with("clicks", 5i64)).unwrap();
@@ -3112,7 +3353,7 @@ mod tests {
 
     #[test]
     fn flexible_evolution_across_merges_queries_consistently() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_flexible_table("events").unwrap();
         for i in 0..100i64 {
             db.insert("events", &Record::new().with("user", i)).unwrap();

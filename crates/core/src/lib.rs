@@ -33,7 +33,7 @@
 //! ```
 //! use haecdb::prelude::*;
 //!
-//! let mut db = Database::new();
+//! let db = Database::new();
 //! db.create_table("orders", &[("id", DataType::Int64), ("amount", DataType::Int64)])?;
 //! for i in 0..1000i64 {
 //!     db.insert("orders", &Record::new().with("id", i).with("amount", i % 97))?;
@@ -59,20 +59,21 @@ pub mod table;
 /// Convenient glob-import of the crate's main types (plus the commonly
 /// used types of the substrate crates).
 pub mod prelude {
-    pub use crate::db::{Database, Filter, Query, QueryResult, StrFilter};
+    pub use crate::db::{Database, DbSnapshot, DbTransaction, Filter, Query, QueryResult, StrFilter};
     pub use crate::error::{DbError, DbResult};
     pub use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
     pub use crate::robust::{run_with_failures, RestartPolicy, RobustReport};
     pub use crate::schema::{Record, SchemaMode, TableSchema};
     pub use crate::segment::{MergeStats, Segment, SEGMENT_ROWS};
-    pub use crate::table::Table;
+    pub use crate::table::{Table, TableSnapshot};
     pub use haec_columnar::value::{CmpOp, DataType, Value};
     pub use haec_exec::agg::AggKind;
     pub use haec_planner::optimizer::Goal;
+    pub use haec_txn::oracle::{Timestamp, TimestampOracle};
 }
 
-pub use db::{Database, Query, QueryResult};
+pub use db::{Database, DbSnapshot, DbTransaction, Query, QueryResult};
 pub use error::{DbError, DbResult};
 pub use index::IndexMaintenance;
 pub use schema::{Record, SchemaMode, TableSchema};
-pub use table::Table;
+pub use table::{Table, TableSnapshot};

@@ -258,6 +258,45 @@ impl Segment {
     }
 }
 
+/// One immutable **version** of a table's main store: the segment list,
+/// their base offsets, the table-global string dictionaries those
+/// segments encode into, and the version metadata MVCC snapshots pin.
+///
+/// A [`crate::table::Table`] publishes a new `MainSet` (behind an `Arc`)
+/// at every delta→main merge; readers that pinned the previous version
+/// keep it alive through their `Arc` until the last snapshot drops —
+/// epoch-style reclamation with no reader-side locking.
+#[derive(Debug)]
+pub(crate) struct MainSet {
+    /// The immutable segments, shared (never deep-copied) across
+    /// versions: a merge appends new segments to a clone of this vector.
+    pub(crate) segments: Vec<std::sync::Arc<Segment>>,
+    /// Global row offset of each segment (parallel to `segments`).
+    pub(crate) bases: Vec<usize>,
+    /// Total rows across all segments.
+    pub(crate) rows: usize,
+    /// Per-column table-global dictionaries (`Some` for string columns),
+    /// frozen with this version: a pinned snapshot decodes against
+    /// exactly the dictionary state it saw, however the dictionary grows
+    /// in later versions.
+    pub(crate) dicts: Vec<Option<DictColumn>>,
+    /// Version counter, bumped once per merge.
+    pub(crate) epoch: u64,
+    /// The largest insert timestamp folded into these segments
+    /// (`0` before the first merge). A snapshot older than this cannot
+    /// be served from this version: segments carry no per-row
+    /// timestamps, so rows newer than the snapshot would be
+    /// indistinguishable.
+    pub(crate) max_ts: u64,
+}
+
+impl MainSet {
+    /// The empty pre-merge version (epoch 0, no rows, no dictionaries).
+    pub(crate) fn empty() -> MainSet {
+        MainSet { segments: Vec::new(), bases: Vec::new(), rows: 0, dicts: Vec::new(), epoch: 0, max_ts: 0 }
+    }
+}
+
 /// What one delta→main merge did — returned by
 /// [`crate::table::Table::merge`] so the caller (the `Database`) can
 /// charge the re-encoding work to the energy meter.

@@ -1,5 +1,5 @@
 //! In-memory tables: segmented main/delta columnar storage behind a
-//! schema.
+//! schema, versioned for MVCC snapshot reads.
 //!
 //! A [`Table`] is the paper's two-store design: an immutable, compressed
 //! **main** (a vector of [`Segment`]s, each ≤ [`SEGMENT_ROWS`] rows,
@@ -11,18 +11,33 @@
 //! to the energy meter; the `Database` layer triggers it automatically
 //! once the delta exceeds [`Table::merge_threshold`].
 //!
+//! Concurrency model: the `Table` itself is a thread-safe handle.
+//! Writers append under a short write lock, drawing one timestamp per
+//! row from the shared [`TimestampOracle`]; readers pin a
+//! [`TableSnapshot`] — an `Arc` to the current immutable main version
+//! plus a copy of the delta prefix visible at their timestamp — and
+//! then never touch the lock again. [`Table::merge`] runs in two
+//! phases: it compresses the delta **outside** all locks and then
+//! publishes the new segment set as an atomic `Arc` swap, so readers
+//! are never blocked for the duration of a merge; old versions are
+//! reclaimed epoch-style when the last snapshot pinning them drops.
+//!
 //! Row identity is stable: global row ids are insertion order, segments
 //! cover `[0, main_rows)` in merge order and the delta covers
 //! `[main_rows, rows)` — so secondary indexes survive merges untouched.
 
 use crate::error::{DbError, DbResult};
 use crate::schema::{Record, SchemaMode, TableSchema};
-use crate::segment::{MergeStats, SegColumn, Segment, SEGMENT_ROWS};
+use crate::segment::{MainSet, MergeStats, SegColumn, Segment, SEGMENT_ROWS};
 use haec_columnar::chunk::Chunk;
 use haec_columnar::column::Column;
 use haec_columnar::dict::DictColumn;
 use haec_columnar::value::{DataType, Value};
 use haec_planner::access::ZoneMapMeta;
+use haec_txn::oracle::{Timestamp, TimestampOracle};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Hit-density crossover between the two ways to read a compressed
 /// segment column: below one hit per `SPARSE_HIT_RATIO` rows, a gather
@@ -62,7 +77,8 @@ pub enum RowLoc {
 }
 
 /// One store's share of an ascending position list (see
-/// `Table::for_each_store`); `hits: None` = every row of the store.
+/// `TableSnapshot::for_each_store`); `hits: None` = every row of the
+/// store.
 enum StoreHits<'p> {
     /// Positions landing in main segment `seg` (first global row `base`).
     Main {
@@ -80,48 +96,61 @@ enum StoreHits<'p> {
     },
 }
 
-/// A named table: compressed main segments + flat delta + validity
-/// tracking.
-#[derive(Clone, Debug)]
-pub struct Table {
-    name: String,
+/// The mutable state of a table, guarded by the handle's `RwLock`.
+#[derive(Debug)]
+struct TableState {
     schema: TableSchema,
-    /// Immutable compressed segments, oldest first.
-    main: Vec<Segment>,
-    /// `bases[i]` = first global row id of `main[i]`.
-    bases: Vec<usize>,
-    main_rows: usize,
+    /// The current immutable main version; swapped wholesale at merge.
+    main: Arc<MainSet>,
     /// Flat write-optimized tail (one dense column per schema column).
     delta: Vec<Column>,
     /// Per-column validity of the delta (false = null sentinel).
     delta_validity: Vec<Vec<bool>>,
-    /// Table-global string dictionaries (`Some` for Str columns); the
-    /// codes stored in main segments resolve through these.
-    dicts: Vec<Option<DictColumn>>,
+    /// Insert timestamp of each delta row, in append order. Timestamps
+    /// are drawn from the database's shared oracle *under the write
+    /// lock*, so this vector is always sorted ascending: timestamp
+    /// order and append order agree, and "rows visible at ts" is
+    /// always a prefix.
+    insert_ts: Vec<u64>,
+    rows: usize,
+}
+
+/// A named table: a thread-safe handle over compressed main segments +
+/// flat delta + validity tracking.
+///
+/// All reads go through a [`TableSnapshot`] (see [`Table::snapshot`],
+/// [`Table::pin_at`], [`Table::read`]); writes ([`Table::insert`],
+/// [`Table::merge`]) take `&self` and synchronize internally, so a
+/// `Table` can be shared across threads behind an `Arc`.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    inner: RwLock<TableState>,
+    /// Serializes mergers with each other (readers and writers are
+    /// *not* held up by this — merge publishes via a brief write lock).
+    merge_lock: Mutex<()>,
     /// Delta row count that triggers an automatic merge (at the
     /// `Database` layer, so the work is metered).
-    merge_threshold: usize,
-    rows: usize,
+    merge_threshold: AtomicUsize,
 }
 
 impl Table {
     /// Creates a table with the given schema.
     pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
         let delta: Vec<Column> = schema.columns().iter().map(|(_, t)| Column::new(*t)).collect();
-        let dicts =
-            schema.columns().iter().map(|(_, t)| (*t == DataType::Str).then(DictColumn::new)).collect();
         let width = schema.width();
         Table {
             name: name.into(),
-            schema,
-            main: Vec::new(),
-            bases: Vec::new(),
-            main_rows: 0,
-            delta,
-            delta_validity: vec![Vec::new(); width],
-            dicts,
-            merge_threshold: SEGMENT_ROWS,
-            rows: 0,
+            inner: RwLock::new(TableState {
+                schema,
+                main: Arc::new(MainSet::empty()),
+                delta,
+                delta_validity: vec![Vec::new(); width],
+                insert_ts: Vec::new(),
+                rows: 0,
+            }),
+            merge_lock: Mutex::new(()),
+            merge_threshold: AtomicUsize::new(SEGMENT_ROWS),
         }
     }
 
@@ -130,69 +159,62 @@ impl Table {
         &self.name
     }
 
-    /// The schema.
-    pub fn schema(&self) -> &TableSchema {
-        &self.schema
+    /// A clone of the current schema (which may evolve under flexible
+    /// mode; a [`TableSnapshot`] carries the schema it pinned).
+    pub fn schema(&self) -> TableSchema {
+        self.inner.read().schema.clone()
     }
 
-    /// Number of rows (main + delta).
+    /// Number of rows (main + delta) right now.
     pub fn rows(&self) -> usize {
-        self.rows
+        self.inner.read().rows
     }
 
     /// Returns `true` if the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows == 0
+        self.rows() == 0
     }
 
-    /// Rows in the compressed main store.
+    /// Rows in the compressed main store right now.
     pub fn main_rows(&self) -> usize {
-        self.main_rows
+        self.inner.read().main.rows
     }
 
-    /// Rows in the flat delta tail.
+    /// Rows in the flat delta tail right now.
     pub fn delta_rows(&self) -> usize {
-        self.rows - self.main_rows
+        let st = self.inner.read();
+        st.rows - st.main.rows
     }
 
-    /// The immutable main segments, oldest first.
-    pub fn segments(&self) -> &[Segment] {
-        &self.main
-    }
-
-    /// First global row id of segment `i`.
-    pub fn segment_base(&self, i: usize) -> usize {
-        self.bases[i]
+    /// The current main-version epoch (bumped once per merge).
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().main.epoch
     }
 
     /// Delta size (rows) above which the `Database` merges automatically.
     pub fn merge_threshold(&self) -> usize {
-        self.merge_threshold
+        self.merge_threshold.load(Ordering::Relaxed)
     }
 
     /// Sets the auto-merge threshold (use `usize::MAX` to disable).
-    pub fn set_merge_threshold(&mut self, rows: usize) {
-        self.merge_threshold = rows.max(1);
+    pub fn set_merge_threshold(&self, rows: usize) {
+        self.merge_threshold.store(rows.max(1), Ordering::Relaxed);
     }
 
     /// Returns `true` once the delta has outgrown the merge threshold.
     pub fn needs_merge(&self) -> bool {
-        self.delta_rows() >= self.merge_threshold
-    }
-
-    /// The table-global dictionary of string column `idx` (`None` for
-    /// non-string columns).
-    pub fn global_dict(&self, idx: usize) -> Option<&DictColumn> {
-        self.dicts.get(idx).and_then(Option::as_ref)
-    }
-
-    /// The delta tail of column `idx` (dense, uncompressed).
-    pub fn delta_column(&self, idx: usize) -> Option<&Column> {
-        self.delta.get(idx)
+        self.delta_rows() >= self.merge_threshold()
     }
 
     /// Appends one record to the delta, evolving a flexible schema as
-    /// needed.
+    /// needed, and stamps the row with the next timestamp from
+    /// `oracle`. Returns the timestamp and the row's global id.
+    ///
+    /// The timestamp is drawn **under the table's write lock**, so
+    /// append order and timestamp order always agree (`insert_ts` stays
+    /// sorted) — the property that makes "rows visible at ts" a prefix.
+    /// All inserts into one table must therefore share one oracle (the
+    /// `Database` owns it).
     ///
     /// Inserts never touch the main store; call [`Table::merge`] (or let
     /// the `Database` auto-merge) to compact the delta.
@@ -200,71 +222,329 @@ impl Table {
     /// # Errors
     ///
     /// Propagates schema violations and type mismatches.
-    pub fn insert(&mut self, record: &Record) -> DbResult<()> {
-        let values = self.schema.admit(record)?;
-        // Schema may have grown: materialize new delta columns backfilled
-        // with sentinel nulls (main segments that predate a column report
-        // their rows as null implicitly).
-        let delta_rows = self.delta_rows();
-        while self.delta.len() < self.schema.width() {
-            let (_, dtype) = &self.schema.columns()[self.delta.len()];
-            let mut col = Column::new(*dtype);
-            for _ in 0..delta_rows {
-                col.push(Value::Null).expect("null is universal");
-            }
-            self.delta.push(col);
-            self.delta_validity.push(vec![false; delta_rows]);
-            self.dicts.push((*dtype == DataType::Str).then(DictColumn::new));
+    pub fn insert(&self, record: &Record, oracle: &TimestampOracle) -> DbResult<(Timestamp, u32)> {
+        let mut st = self.inner.write();
+        let delta_rows = st.rows - st.main.rows;
+        let st = &mut *st;
+        append_record(&mut st.schema, &mut st.delta, &mut st.delta_validity, delta_rows, record)?;
+        let ts = oracle.next();
+        debug_assert!(
+            st.insert_ts.last().is_none_or(|&t| t < ts.0),
+            "all inserts into a table must share one oracle"
+        );
+        st.insert_ts.push(ts.0);
+        let row = st.rows as u32;
+        st.rows += 1;
+        Ok((ts, row))
+    }
+
+    /// Pins a snapshot of the table as of a fresh timestamp drawn from
+    /// `oracle`: the entire current state is visible (every existing
+    /// delta row committed before the lock was taken, and nothing
+    /// after).
+    pub fn snapshot(&self, oracle: &TimestampOracle) -> TableSnapshot {
+        let st = self.inner.read();
+        // Drawn under the read lock: inserts (write lock) cannot
+        // interleave, so every row present has a smaller timestamp and
+        // every later insert gets a larger one.
+        let ts = oracle.next();
+        self.snap(&st, st.rows - st.main.rows, ts)
+    }
+
+    /// Pins a snapshot as of an **existing** timestamp `ts`: exactly
+    /// the rows with insert timestamp ≤ `ts` are visible.
+    ///
+    /// Returns `None` if a merge has already folded rows *newer* than
+    /// `ts` into the main store — segments carry no per-row timestamps,
+    /// so such a version cannot serve the older snapshot; the caller
+    /// (the `Database`'s multi-table pin) retries with a fresh
+    /// timestamp.
+    pub fn pin_at(&self, ts: Timestamp) -> Option<TableSnapshot> {
+        let st = self.inner.read();
+        if st.main.max_ts > ts.0 {
+            return None;
         }
-        for ((col, valid), value) in self.delta.iter_mut().zip(&mut self.delta_validity).zip(values) {
-            valid.push(!value.is_null());
-            col.push(value)
-                .map_err(|e| DbError::TypeMismatch { column: String::new(), expected: e.expected })?;
+        let visible = st.insert_ts.partition_point(|&t| t <= ts.0);
+        Some(self.snap(&st, visible, ts))
+    }
+
+    /// The latest state as a snapshot (timestamp ∞) — the view used by
+    /// single-statement reads, diagnostics and tests.
+    pub fn read(&self) -> TableSnapshot {
+        let st = self.inner.read();
+        self.snap(&st, st.rows - st.main.rows, Timestamp::INF)
+    }
+
+    fn snap(&self, st: &TableState, visible: usize, ts: Timestamp) -> TableSnapshot {
+        TableSnapshot {
+            name: self.name.clone(),
+            schema: st.schema.clone(),
+            main: Arc::clone(&st.main),
+            delta: st.delta.iter().map(|c| column_prefix(c, visible)).collect(),
+            delta_validity: st.delta_validity.iter().map(|v| v[..visible].to_vec()).collect(),
+            rows: st.main.rows + visible,
+            ts,
         }
-        self.rows += 1;
-        Ok(())
     }
 
     /// Compacts the entire delta into new immutable main segments of at
     /// most [`SEGMENT_ROWS`] rows each, re-encoding every column with
     /// [`haec_columnar::encoding::EncodedInts::auto`] and remapping
-    /// strings into the table-global dictionaries.
+    /// strings into the table-global dictionaries, then publishes the
+    /// result as a new main version in one atomic swap.
+    ///
+    /// Readers are never blocked: the expensive re-encoding runs with
+    /// no lock held, bracketed by two brief critical sections (pin the
+    /// delta; publish the new `MainSet` and drop the compacted delta
+    /// prefix). Snapshots pinned before the swap keep reading the old
+    /// version through their `Arc`; the old segments are freed when the
+    /// last such snapshot drops. Concurrent mergers serialize on an
+    /// internal lock; inserts landing during the build simply stay in
+    /// the delta for the next merge.
     ///
     /// Returns [`MergeStats`] describing the re-encoding work so the
     /// caller can charge its CPU/DRAM cost; merging an empty delta is a
     /// free no-op.
-    pub fn merge(&mut self) -> MergeStats {
-        let n = self.delta_rows();
-        if n == 0 {
-            return MergeStats::default();
-        }
-        let mut stats = MergeStats { rows_merged: n, ..MergeStats::default() };
+    pub fn merge(&self) -> MergeStats {
+        let _serialize = self.merge_lock.lock();
+        // Phase 1 — pin: under a brief read lock, clone the delta
+        // prefix to compact and the Arc of the version to extend.
+        let (old_main, delta, validity, schema, n, max_ts) = {
+            let st = self.inner.read();
+            let n = st.rows - st.main.rows;
+            if n == 0 {
+                return MergeStats::default();
+            }
+            (
+                Arc::clone(&st.main),
+                st.delta.clone(),
+                st.delta_validity.clone(),
+                st.schema.clone(),
+                n,
+                st.insert_ts[n - 1],
+            )
+        };
+        // Build — no lock held; readers pin snapshots and writers
+        // append freely while the delta is re-encoded.
+        let mut dicts: Vec<Option<DictColumn>> = (0..schema.width())
+            .map(|idx| {
+                old_main
+                    .dicts
+                    .get(idx)
+                    .cloned()
+                    .flatten()
+                    .or_else(|| (schema.columns()[idx].1 == DataType::Str).then(DictColumn::new))
+            })
+            .collect();
         // Local→global dictionary remaps, once per merge (every segment
         // of this merge shares the same delta-local dictionaries).
-        let remaps: Vec<Option<Vec<i64>>> = self
-            .delta
+        let remaps: Vec<Option<Vec<i64>>> = delta
             .iter()
-            .zip(&mut self.dicts)
+            .zip(&mut dicts)
             .map(|(col, dict)| match (col.as_str(), dict.as_mut()) {
                 (Some(local), Some(global)) => Some(crate::segment::build_remap(local, global)),
                 _ => None,
             })
             .collect();
+        let mut stats = MergeStats { rows_merged: n, ..MergeStats::default() };
+        let mut segments = old_main.segments.clone();
+        let mut bases = old_main.bases.clone();
+        let mut main_rows = old_main.rows;
         let mut start = 0;
         while start < n {
             let end = (start + SEGMENT_ROWS).min(n);
-            let seg = Segment::build(&self.delta, &self.delta_validity, start, end, &remaps);
+            let seg = Segment::build(&delta, &validity, start, end, &remaps);
             stats.raw_bytes += seg.raw_bytes();
             stats.encoded_bytes += seg.encoded_bytes();
             stats.segments_created += 1;
-            self.bases.push(self.main_rows);
-            self.main_rows += seg.rows();
-            self.main.push(seg);
+            bases.push(main_rows);
+            main_rows += seg.rows();
+            segments.push(Arc::new(seg));
             start = end;
         }
-        self.delta = self.schema.columns().iter().map(|(_, t)| Column::new(*t)).collect();
-        self.delta_validity = vec![Vec::new(); self.schema.width()];
+        let new_main =
+            Arc::new(MainSet { segments, bases, rows: main_rows, dicts, epoch: old_main.epoch + 1, max_ts });
+        // Phase 2 — publish: under a brief write lock, swap in the new
+        // version and drop the compacted prefix from the delta. Rows
+        // appended during the build (and columns a flexible schema grew
+        // meanwhile — their first `n` cells are null backfill for rows
+        // that now live in segments predating the column) keep their
+        // tail positions.
+        let mut st = self.inner.write();
+        debug_assert_eq!(st.main.epoch, old_main.epoch, "mergers are serialized");
+        st.delta = st.delta.iter().map(|c| column_suffix(c, n)).collect();
+        st.delta_validity = st.delta_validity.iter().map(|v| v[n..].to_vec()).collect();
+        st.insert_ts.drain(..n);
+        st.main = new_main;
+        st.rows = st.main.rows + st.insert_ts.len();
         stats
+    }
+}
+
+/// Copies the first `visible` rows of a delta column — the prefix an
+/// MVCC snapshot sees. String columns keep their full delta-local
+/// dictionary ([`DictColumn::sliced`]): the kept codes stay decodable
+/// and later dictionary growth is invisible through the slice.
+fn column_prefix(col: &Column, visible: usize) -> Column {
+    match col {
+        Column::Int64(v) => Column::Int64(v[..visible].to_vec()),
+        Column::Float64(v) => Column::Float64(v[..visible].to_vec()),
+        Column::Str(d) => Column::Str(d.sliced(0, visible)),
+    }
+}
+
+/// Drops the first `n` rows of a delta column — the remainder kept
+/// after a merge compacted the prefix. String columns **rebuild** a
+/// compact delta-local dictionary from the surviving rows rather than
+/// slicing: `build_remap` interns every local dictionary entry into the
+/// table-global dictionary at the next merge, so stale entries carried
+/// over from compacted rows would pollute the global dictionary and
+/// inflate the planner's distinct counts.
+fn column_suffix(col: &Column, n: usize) -> Column {
+    match col {
+        Column::Int64(v) => Column::Int64(v[n..].to_vec()),
+        Column::Float64(v) => Column::Float64(v[n..].to_vec()),
+        Column::Str(d) => {
+            let mut out = DictColumn::new();
+            for i in n..d.len() {
+                out.push(d.get(i).expect("row in range"));
+            }
+            Column::Str(out)
+        }
+    }
+}
+
+/// Appends one record to a delta (shared by [`Table::insert`] and
+/// [`TableSnapshot::with_pending`]), evolving a flexible schema as
+/// needed: new columns materialize backfilled with sentinel nulls
+/// (`delta_rows` of them — main segments that predate a column report
+/// their rows as null implicitly).
+fn append_record(
+    schema: &mut TableSchema,
+    delta: &mut Vec<Column>,
+    delta_validity: &mut Vec<Vec<bool>>,
+    delta_rows: usize,
+    record: &Record,
+) -> DbResult<()> {
+    let values = schema.admit(record)?;
+    while delta.len() < schema.width() {
+        let (_, dtype) = &schema.columns()[delta.len()];
+        let mut col = Column::new(*dtype);
+        for _ in 0..delta_rows {
+            col.push(Value::Null).expect("null is universal");
+        }
+        delta.push(col);
+        delta_validity.push(vec![false; delta_rows]);
+    }
+    for ((col, valid), value) in delta.iter_mut().zip(delta_validity.iter_mut()).zip(values) {
+        valid.push(!value.is_null());
+        col.push(value).map_err(|e| DbError::TypeMismatch { column: String::new(), expected: e.expected })?;
+    }
+    Ok(())
+}
+
+/// An immutable view of a table as of one timestamp: an `Arc` to the
+/// main version current at the pin plus a copy of the delta prefix
+/// visible at the snapshot's timestamp.
+///
+/// This is the type the whole read path operates on — scans,
+/// aggregates, joins, projections and planner statistics all see one
+/// frozen state, whatever inserts and merges do concurrently. The
+/// pinned `MainSet` also freezes the table-global string
+/// dictionaries, so codes always decode against exactly the dictionary
+/// state the snapshot saw.
+#[derive(Clone, Debug)]
+pub struct TableSnapshot {
+    name: String,
+    schema: TableSchema,
+    main: Arc<MainSet>,
+    /// The visible delta prefix (one dense column per schema column).
+    delta: Vec<Column>,
+    /// Per-column validity of the visible delta (false = null).
+    delta_validity: Vec<Vec<bool>>,
+    rows: usize,
+    ts: Timestamp,
+}
+
+impl TableSnapshot {
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema as of the pin.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The snapshot's timestamp ([`Timestamp::INF`] for a latest-state
+    /// view).
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// The main-version epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.main.epoch
+    }
+
+    /// Number of visible rows (main + visible delta prefix).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` if the snapshot sees no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Rows in the compressed main store.
+    pub fn main_rows(&self) -> usize {
+        self.main.rows
+    }
+
+    /// Visible rows in the flat delta tail.
+    pub fn delta_rows(&self) -> usize {
+        self.rows - self.main.rows
+    }
+
+    /// The immutable main segments, oldest first.
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.main.segments
+    }
+
+    /// First global row id of segment `i`.
+    pub fn segment_base(&self, i: usize) -> usize {
+        self.main.bases[i]
+    }
+
+    /// The table-global dictionary of string column `idx` as pinned
+    /// (`None` for non-string columns and before the first merge).
+    pub fn global_dict(&self, idx: usize) -> Option<&DictColumn> {
+        self.main.dicts.get(idx).and_then(Option::as_ref)
+    }
+
+    /// The visible delta tail of column `idx` (dense, uncompressed).
+    pub fn delta_column(&self, idx: usize) -> Option<&Column> {
+        self.delta.get(idx)
+    }
+
+    /// A copy of this snapshot with `records` appended as extra
+    /// (uncommitted) delta rows — the read-your-own-writes view a
+    /// transaction evaluates queries against: committed state as pinned,
+    /// plus the transaction's private overlay, visible to nobody else.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema violations and type mismatches.
+    pub fn with_pending(&self, records: &[Record]) -> DbResult<TableSnapshot> {
+        let mut snap = self.clone();
+        for record in records {
+            let delta_rows = snap.rows - snap.main.rows;
+            append_record(&mut snap.schema, &mut snap.delta, &mut snap.delta_validity, delta_rows, record)?;
+            snap.rows += 1;
+        }
+        Ok(snap)
     }
 
     /// Resolves a global row id to its physical location.
@@ -274,11 +554,11 @@ impl Table {
     /// Panics if `row >= rows()`.
     pub fn locate(&self, row: usize) -> RowLoc {
         assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
-        if row >= self.main_rows {
-            return RowLoc::Delta { local: row - self.main_rows };
+        if row >= self.main.rows {
+            return RowLoc::Delta { local: row - self.main.rows };
         }
-        let seg = self.bases.partition_point(|&b| b <= row) - 1;
-        RowLoc::Main { seg, local: row - self.bases[seg] }
+        let seg = self.main.bases.partition_point(|&b| b <= row) - 1;
+        RowLoc::Main { seg, local: row - self.main.bases[seg] }
     }
 
     /// The integer value of column `idx` at global row `row` (sentinel 0
@@ -292,7 +572,7 @@ impl Table {
                 if *self.schema.columns().get(idx).map(|(_, t)| t)? != DataType::Int64 {
                     return None;
                 }
-                match self.main[seg].column(idx) {
+                match self.main.segments[seg].column(idx) {
                     Some(SegColumn::Int { data, .. }) => Some(data.get(local)),
                     None => Some(0), // segment predates the column: sentinel
                     _ => None,
@@ -311,7 +591,7 @@ impl Table {
             }
             RowLoc::Main { seg, local } => {
                 let global = self.global_dict(idx)?;
-                match self.main[seg].column(idx) {
+                match self.main.segments[seg].column(idx) {
                     Some(SegColumn::Str { codes, .. }) => {
                         Some(global.decode(codes.get(local) as u32) == Some(value))
                     }
@@ -325,9 +605,9 @@ impl Table {
     /// Gathers the integer values of column `name` at `positions`
     /// (ascending global row ids), or the full column when `positions`
     /// is `None` — an **unmetered** convenience over
-    /// [`Table::materialize_columns`] for index builds, diagnostics and
-    /// tests. Query execution goes through `materialize_columns`, which
-    /// reports the work done.
+    /// [`TableSnapshot::materialize_columns`] for index builds,
+    /// diagnostics and tests. Query execution goes through
+    /// `materialize_columns`, which reports the work done.
     pub fn gather_ints(&self, name: &str, positions: Option<&[u32]>) -> Option<Vec<i64>> {
         let idx = self.schema.position(name)?;
         if self.schema.columns()[idx].1 != DataType::Int64 {
@@ -380,7 +660,7 @@ impl Table {
                                 v.push(delta[local]);
                                 stats.bytes_read += 8;
                             }
-                            RowLoc::Main { seg, local } => match self.main[seg].column(idx) {
+                            RowLoc::Main { seg, local } => match self.main.segments[seg].column(idx) {
                                 Some(SegColumn::Int { data, .. }) => {
                                     v.push(data.get(local));
                                     stats.decode_items += 1;
@@ -402,7 +682,7 @@ impl Table {
                                 v.push(delta[local]);
                                 stats.bytes_read += 8;
                             }
-                            RowLoc::Main { seg, local } => match self.main[seg].column(idx) {
+                            RowLoc::Main { seg, local } => match self.main.segments[seg].column(idx) {
                                 Some(SegColumn::Float(data)) => {
                                     v.push(data[local]);
                                     stats.bytes_read += 8;
@@ -422,7 +702,7 @@ impl Table {
                                 stats.bytes_read += 4;
                                 g.push_delta(local, &mut stats);
                             }
-                            RowLoc::Main { seg, local } => match self.main[seg].column(idx) {
+                            RowLoc::Main { seg, local } => match self.main.segments[seg].column(idx) {
                                 Some(SegColumn::Str { codes, .. }) => {
                                     stats.decode_items += 1;
                                     stats.bytes_read += 4;
@@ -489,8 +769,8 @@ impl Table {
                 let mut out = Vec::with_capacity(cap);
                 self.for_each_store(positions, |hits| match hits {
                     StoreHits::Main { seg, base, hits } => {
-                        let rows = self.main[seg].rows();
-                        match self.main[seg].column(idx) {
+                        let rows = self.main.segments[seg].rows();
+                        match self.main.segments[seg].column(idx) {
                             Some(SegColumn::Int { data, .. }) => match hits {
                                 Some(h) if sparse_hits(h.len(), rows) => {
                                     out.extend(h.iter().map(|&p| data.get(p as usize - base)));
@@ -513,7 +793,7 @@ impl Table {
                     }
                     StoreHits::Delta { hits } => {
                         match hits {
-                            Some(h) => out.extend(h.iter().map(|&p| delta[p as usize - self.main_rows])),
+                            Some(h) => out.extend(h.iter().map(|&p| delta[p as usize - self.main.rows])),
                             None => out.extend_from_slice(delta),
                         }
                         stats.bytes_read += hits.map_or(delta.len(), <[u32]>::len) as u64 * 8;
@@ -526,8 +806,8 @@ impl Table {
                 let mut out = Vec::with_capacity(cap);
                 self.for_each_store(positions, |hits| match hits {
                     StoreHits::Main { seg, base, hits } => {
-                        let rows = self.main[seg].rows();
-                        match self.main[seg].column(idx) {
+                        let rows = self.main.segments[seg].rows();
+                        match self.main.segments[seg].column(idx) {
                             Some(SegColumn::Float(v)) => match hits {
                                 Some(h) if sparse_hits(h.len(), rows) => {
                                     out.extend(h.iter().map(|&p| v[p as usize - base]));
@@ -547,7 +827,7 @@ impl Table {
                     }
                     StoreHits::Delta { hits } => {
                         match hits {
-                            Some(h) => out.extend(h.iter().map(|&p| delta[p as usize - self.main_rows])),
+                            Some(h) => out.extend(h.iter().map(|&p| delta[p as usize - self.main.rows])),
                             None => out.extend_from_slice(delta),
                         }
                         stats.bytes_read += hits.map_or(delta.len(), <[u32]>::len) as u64 * 8;
@@ -559,8 +839,8 @@ impl Table {
                 let mut g = StrCodeGather::new(self, idx);
                 self.for_each_store(positions, |hits| match hits {
                     StoreHits::Main { seg, base, hits } => {
-                        let rows = self.main[seg].rows();
-                        match self.main[seg].column(idx) {
+                        let rows = self.main.segments[seg].rows();
+                        match self.main.segments[seg].column(idx) {
                             Some(SegColumn::Str { codes, .. }) => match hits {
                                 Some(h) if sparse_hits(h.len(), rows) => {
                                     // Sparse hits: compressed random access,
@@ -603,7 +883,7 @@ impl Table {
                         match hits {
                             Some(h) => {
                                 for &p in h {
-                                    g.push_delta(p as usize - self.main_rows, stats);
+                                    g.push_delta(p as usize - self.main.rows, stats);
                                 }
                             }
                             None => {
@@ -627,21 +907,21 @@ impl Table {
     fn for_each_store<'p>(&self, positions: Option<&'p [u32]>, mut f: impl FnMut(StoreHits<'p>)) {
         match positions {
             None => {
-                for (si, _) in self.main.iter().enumerate() {
-                    f(StoreHits::Main { seg: si, base: self.bases[si], hits: None });
+                for (si, _) in self.main.segments.iter().enumerate() {
+                    f(StoreHits::Main { seg: si, base: self.main.bases[si], hits: None });
                 }
                 f(StoreHits::Delta { hits: None });
             }
             Some(pos) => {
                 let mut i = 0;
-                for (si, seg) in self.main.iter().enumerate() {
-                    let end_base = self.bases[si] + seg.rows();
+                for (si, seg) in self.main.segments.iter().enumerate() {
+                    let end_base = self.main.bases[si] + seg.rows();
                     let from = i;
                     while i < pos.len() && (pos[i] as usize) < end_base {
                         i += 1;
                     }
                     if i > from {
-                        f(StoreHits::Main { seg: si, base: self.bases[si], hits: Some(&pos[from..i]) });
+                        f(StoreHits::Main { seg: si, base: self.main.bases[si], hits: Some(&pos[from..i]) });
                     }
                 }
                 if i < pos.len() {
@@ -665,7 +945,7 @@ impl Table {
     pub fn validity(&self, name: &str) -> Option<Vec<bool>> {
         let idx = self.schema.position(name)?;
         let mut out = Vec::with_capacity(self.rows);
-        for seg in &self.main {
+        for seg in &self.main.segments {
             if idx >= seg.width() {
                 out.extend(std::iter::repeat_n(false, seg.rows()));
             } else {
@@ -682,13 +962,13 @@ impl Table {
     /// Count of nulls in a column.
     pub fn null_count(&self, name: &str) -> Option<usize> {
         let idx = self.schema.position(name)?;
-        let main: usize = self.main.iter().map(|s| s.null_count(idx)).sum();
+        let main: usize = self.main.segments.iter().map(|s| s.null_count(idx)).sum();
         let delta = self.delta_validity[idx].iter().filter(|&&b| !b).count();
         Some(main + delta)
     }
 
-    /// Materializes the whole table as a [`Chunk`] — string columns as
-    /// codes + shared output dictionaries, like every projection.
+    /// Materializes the whole snapshot as a [`Chunk`] — string columns
+    /// as codes + shared output dictionaries, like every projection.
     pub fn to_chunk(&self) -> Chunk {
         let names: Vec<String> = self.schema.columns().iter().map(|(n, _)| n.clone()).collect();
         let (cols, _) = self.materialize_columns(&names, None).expect("schema columns exist");
@@ -703,14 +983,14 @@ impl Table {
 
     /// Encoded bytes of the main store plus the (plain) delta bytes.
     pub fn encoded_bytes(&self) -> usize {
-        let main: usize = self.main.iter().map(Segment::encoded_bytes).sum();
+        let main: usize = self.main.segments.iter().map(|s| s.encoded_bytes()).sum();
         let delta: usize = self.delta.iter().map(Column::size_bytes).sum();
         main + delta
     }
 
     /// Plain bytes the same data would occupy without compression.
     pub fn raw_bytes(&self) -> usize {
-        let main: usize = self.main.iter().map(Segment::raw_bytes).sum();
+        let main: usize = self.main.segments.iter().map(|s| s.raw_bytes()).sum();
         let delta: usize = self.delta.iter().map(Column::size_bytes).sum();
         main + delta
     }
@@ -719,7 +999,8 @@ impl Table {
     /// tail — the DRAM traffic a scan of this column costs.
     pub fn column_encoded_bytes(&self, name: &str) -> Option<usize> {
         let idx = self.schema.position(name)?;
-        let main: usize = self.main.iter().map(|s| s.column(idx).map_or(0, SegColumn::encoded_bytes)).sum();
+        let main: usize =
+            self.main.segments.iter().map(|s| s.column(idx).map_or(0, SegColumn::encoded_bytes)).sum();
         Some(main + self.delta.get(idx).map_or(0, Column::size_bytes))
     }
 
@@ -731,8 +1012,8 @@ impl Table {
         if self.schema.columns()[idx].1 != DataType::Int64 {
             return None;
         }
-        let mut zones = Vec::with_capacity(self.main.len() + 1);
-        for seg in &self.main {
+        let mut zones = Vec::with_capacity(self.main.segments.len() + 1);
+        for seg in &self.main.segments {
             let (min, max) = seg.zone(idx).unwrap_or((0, 0));
             zones.push(ZoneMapMeta { rows: seg.rows() as u64, min, max });
         }
@@ -764,6 +1045,7 @@ impl Table {
                         // never collapses a sparse domain.
                         let measured: u64 = self
                             .main
+                            .segments
                             .iter()
                             // Segments predating the column hold one
                             // distinct value (the null sentinel 0).
@@ -776,7 +1058,7 @@ impl Table {
                     DataType::Str => {
                         // Distinct = global dict + delta-local values the
                         // global dict has not seen (no double counting).
-                        let global = self.dicts[idx].as_ref();
+                        let global = self.global_dict(idx);
                         let g = global.map_or(0, DictColumn::dict_size);
                         let fresh = self.delta[idx].as_str().map_or(0, |local| {
                             local
@@ -814,7 +1096,7 @@ impl Table {
                 Some((a, b)) => (a.min(lo), b.max(hi)),
             });
         };
-        for seg in &self.main {
+        for seg in &self.main.segments {
             let (lo, hi) = seg.zone(idx).unwrap_or((0, 0));
             fold(lo, hi);
         }
@@ -830,8 +1112,9 @@ impl Table {
 }
 
 /// Work done by one projection or positional gather
-/// ([`Table::materialize_columns`] / [`Table::gather_rows`]), for the
-/// caller to charge to the energy meter.
+/// ([`TableSnapshot::materialize_columns`] /
+/// [`TableSnapshot::gather_rows`]), for the caller to charge to the
+/// energy meter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GatherStats {
     /// Decode steps performed on encoded main columns — one per cell
@@ -849,14 +1132,14 @@ pub struct GatherStats {
 /// dictionary backing main segments and the delta-local dictionary
 /// backing the tail — into **one output code space**, building the
 /// projection's shared output dictionary as it goes. This is the
-/// codes-to-client machinery behind both [`Table::gather_rows`] and
-/// [`Table::materialize_columns`]: each distinct source code is decoded
-/// and interned exactly once (O(distinct) string hashes, billed as
-/// first-touch dictionary-entry reads), and every repeat is an O(1)
-/// array-indexed cache hit plus a code push — never a string hash.
-/// Values shared between the global and delta dictionaries (and the
-/// `""` sentinel) still collapse to one output entry, because the
-/// intern goes through the output dictionary's own lookup on first
+/// codes-to-client machinery behind both [`TableSnapshot::gather_rows`]
+/// and [`TableSnapshot::materialize_columns`]: each distinct source
+/// code is decoded and interned exactly once (O(distinct) string
+/// hashes, billed as first-touch dictionary-entry reads), and every
+/// repeat is an O(1) array-indexed cache hit plus a code push — never a
+/// string hash. Values shared between the global and delta dictionaries
+/// (and the `""` sentinel) still collapse to one output entry, because
+/// the intern goes through the output dictionary's own lookup on first
 /// touch.
 struct StrCodeGather<'a> {
     global: Option<&'a DictColumn>,
@@ -871,9 +1154,9 @@ struct StrCodeGather<'a> {
 }
 
 impl<'a> StrCodeGather<'a> {
-    fn new(t: &'a Table, idx: usize) -> StrCodeGather<'a> {
+    fn new(t: &'a TableSnapshot, idx: usize) -> StrCodeGather<'a> {
         let delta = t.delta[idx].as_str().expect("schema type matches storage");
-        let global = t.dicts[idx].as_ref();
+        let global = t.global_dict(idx);
         StrCodeGather {
             global,
             delta,
@@ -935,8 +1218,8 @@ pub fn strict_schema(cols: &[(&str, DataType)]) -> TableSchema {
     TableSchema::strict(cols.iter().map(|(n, t)| (n.to_string(), *t)).collect())
 }
 
-/// Returns `true` if the table was declared flexible.
-pub fn is_flexible(table: &Table) -> bool {
+/// Returns `true` if the snapshot's table was declared flexible.
+pub fn is_flexible(table: &TableSnapshot) -> bool {
     table.schema().mode() == SchemaMode::Flexible
 }
 
@@ -945,36 +1228,41 @@ mod tests {
     use super::*;
     use haec_columnar::value::CmpOp;
 
-    fn orders() -> Table {
-        let mut t =
-            Table::new("orders", strict_schema(&[("id", DataType::Int64), ("amount", DataType::Int64)]));
+    fn ins(t: &Table, o: &TimestampOracle, r: &Record) {
+        t.insert(r, o).unwrap();
+    }
+
+    fn orders() -> (Table, TimestampOracle) {
+        let t = Table::new("orders", strict_schema(&[("id", DataType::Int64), ("amount", DataType::Int64)]));
+        let o = TimestampOracle::new();
         for i in 0..10 {
-            t.insert(&Record::new().with("id", i as i64).with("amount", (i * 10) as i64)).unwrap();
+            ins(&t, &o, &Record::new().with("id", i as i64).with("amount", (i * 10) as i64));
         }
-        t
+        (t, o)
     }
 
     #[test]
     fn insert_and_read_back() {
-        let t = orders();
+        let (t, _) = orders();
         assert_eq!(t.rows(), 10);
         assert!(!t.is_empty());
-        let chunk = t.to_chunk();
+        let chunk = t.read().to_chunk();
         assert_eq!(chunk.rows(), 10);
         assert_eq!(chunk.row(3).unwrap(), vec![Value::Int(3), Value::Int(30)]);
     }
 
     #[test]
     fn column_access() {
-        let t = orders();
-        assert!(t.column("amount").is_some());
-        assert!(t.column("zz").is_none());
-        assert_eq!(t.column("amount").unwrap().as_int64().unwrap()[5], 50);
+        let (t, _) = orders();
+        let s = t.read();
+        assert!(s.column("amount").is_some());
+        assert!(s.column("zz").is_none());
+        assert_eq!(s.column("amount").unwrap().as_int64().unwrap()[5], 50);
     }
 
     #[test]
     fn merge_moves_delta_to_compressed_main() {
-        let mut t = orders();
+        let (t, _) = orders();
         assert_eq!(t.delta_rows(), 10);
         assert_eq!(t.main_rows(), 0);
         let stats = t.merge();
@@ -984,126 +1272,139 @@ mod tests {
         assert_eq!(t.delta_rows(), 0);
         assert_eq!(t.main_rows(), 10);
         assert_eq!(t.rows(), 10);
+        let s = t.read();
         // Data survives the merge unchanged, in insertion order.
-        assert_eq!(t.column("amount").unwrap().as_int64().unwrap(), &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        assert_eq!(s.column("amount").unwrap().as_int64().unwrap(), &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
         // Zone maps reflect the data.
-        assert_eq!(t.segments()[0].zone(0), Some((0, 9)));
-        assert_eq!(t.segments()[0].zone(1), Some((0, 90)));
+        assert_eq!(s.segments()[0].zone(0), Some((0, 9)));
+        assert_eq!(s.segments()[0].zone(1), Some((0, 90)));
         // A second merge with an empty delta is a no-op.
         assert_eq!(t.merge(), MergeStats::default());
     }
 
     #[test]
     fn merge_interleaves_with_inserts() {
-        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let o = TimestampOracle::new();
         for round in 0..4 {
             for i in 0..100i64 {
-                t.insert(&Record::new().with("v", round * 100 + i)).unwrap();
+                ins(&t, &o, &Record::new().with("v", round * 100 + i));
             }
             t.merge();
         }
         for i in 400..450i64 {
-            t.insert(&Record::new().with("v", i)).unwrap();
+            ins(&t, &o, &Record::new().with("v", i));
         }
-        assert_eq!(t.segments().len(), 4);
-        assert_eq!(t.main_rows(), 400);
-        assert_eq!(t.delta_rows(), 50);
-        let v = t.column("v").unwrap();
+        let s = t.read();
+        assert_eq!(s.segments().len(), 4);
+        assert_eq!(s.main_rows(), 400);
+        assert_eq!(s.delta_rows(), 50);
+        let v = s.column("v").unwrap();
         let expected: Vec<i64> = (0..450).collect();
         assert_eq!(v.as_int64().unwrap(), &expected[..]);
         // Global row ids locate correctly on both sides of the boundary.
-        assert_eq!(t.locate(0), RowLoc::Main { seg: 0, local: 0 });
-        assert_eq!(t.locate(399), RowLoc::Main { seg: 3, local: 99 });
-        assert_eq!(t.locate(400), RowLoc::Delta { local: 0 });
-        assert_eq!(t.get_int(0, 250), Some(250));
+        assert_eq!(s.locate(0), RowLoc::Main { seg: 0, local: 0 });
+        assert_eq!(s.locate(399), RowLoc::Main { seg: 3, local: 99 });
+        assert_eq!(s.locate(400), RowLoc::Delta { local: 0 });
+        assert_eq!(s.get_int(0, 250), Some(250));
     }
 
     #[test]
     fn large_merge_splits_into_segments() {
-        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let o = TimestampOracle::new();
         let n = SEGMENT_ROWS + 1000;
         for i in 0..n as i64 {
-            t.insert(&Record::new().with("v", i)).unwrap();
+            ins(&t, &o, &Record::new().with("v", i));
         }
         let stats = t.merge();
         assert_eq!(stats.segments_created, 2);
-        assert_eq!(t.segments()[0].rows(), SEGMENT_ROWS);
-        assert_eq!(t.segments()[1].rows(), 1000);
-        assert_eq!(t.segment_base(1), SEGMENT_ROWS);
+        let s = t.read();
+        assert_eq!(s.segments()[0].rows(), SEGMENT_ROWS);
+        assert_eq!(s.segments()[1].rows(), 1000);
+        assert_eq!(s.segment_base(1), SEGMENT_ROWS);
         // Sorted ints compress hard.
-        assert!(t.encoded_bytes() * 4 < t.raw_bytes());
+        assert!(s.encoded_bytes() * 4 < s.raw_bytes());
     }
 
     #[test]
     fn strings_survive_merge_via_global_dict() {
-        let mut t =
-            Table::new("users", strict_schema(&[("id", DataType::Int64), ("country", DataType::Str)]));
+        let t = Table::new("users", strict_schema(&[("id", DataType::Int64), ("country", DataType::Str)]));
+        let o = TimestampOracle::new();
         let countries = ["de", "us", "fr", "de"];
         for (i, c) in countries.iter().enumerate() {
-            t.insert(&Record::new().with("id", i as i64).with("country", *c)).unwrap();
+            ins(&t, &o, &Record::new().with("id", i as i64).with("country", *c));
         }
         t.merge();
         // New delta rows after the merge get a fresh local dictionary.
-        t.insert(&Record::new().with("id", 4i64).with("country", "jp")).unwrap();
-        t.insert(&Record::new().with("id", 5i64).with("country", "de")).unwrap();
-        let col = t.column("country").unwrap();
+        ins(&t, &o, &Record::new().with("id", 4i64).with("country", "jp"));
+        ins(&t, &o, &Record::new().with("id", 5i64).with("country", "de"));
+        let s = t.read();
+        let col = s.column("country").unwrap();
         let vals: Vec<&str> = col.as_str().unwrap().iter().collect();
         assert_eq!(vals, vec!["de", "us", "fr", "de", "jp", "de"]);
-        assert!(t.str_eq(1, 0, "de").unwrap());
-        assert!(!t.str_eq(1, 1, "de").unwrap());
-        assert!(t.str_eq(1, 5, "de").unwrap());
+        assert!(s.str_eq(1, 0, "de").unwrap());
+        assert!(!s.str_eq(1, 1, "de").unwrap());
+        assert!(s.str_eq(1, 5, "de").unwrap());
         // Distinct count: "de" lives in both the global (merged) and the
         // delta-local dictionary but is counted once — {de, us, fr, jp}.
-        let meta = t.planner_meta();
+        let meta = s.planner_meta();
         assert_eq!(meta.columns.iter().find(|c| c.name == "country").unwrap().ndv, 4);
     }
 
     #[test]
     fn flexible_table_grows_columns() {
-        let mut t = Table::new("events", TableSchema::flexible());
-        t.insert(&Record::new().with("a", 1i64)).unwrap();
-        t.insert(&Record::new().with("a", 2i64).with("b", "x")).unwrap();
-        t.insert(&Record::new().with("b", "y")).unwrap();
-        assert_eq!(t.rows(), 3);
-        assert_eq!(t.schema().width(), 2);
+        let t = Table::new("events", TableSchema::flexible());
+        let o = TimestampOracle::new();
+        ins(&t, &o, &Record::new().with("a", 1i64));
+        ins(&t, &o, &Record::new().with("a", 2i64).with("b", "x"));
+        ins(&t, &o, &Record::new().with("b", "y"));
+        let s = t.read();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.schema().width(), 2);
         // Backfilled nulls: b missing in row 0, a missing in row 2.
-        assert_eq!(t.null_count("b"), Some(1));
-        assert_eq!(t.null_count("a"), Some(1));
+        assert_eq!(s.null_count("b"), Some(1));
+        assert_eq!(s.null_count("a"), Some(1));
         // Sentinel values are stored densely.
-        assert_eq!(t.column("a").unwrap().as_int64().unwrap(), &[1, 2, 0]);
-        assert!(is_flexible(&t));
+        assert_eq!(s.column("a").unwrap().as_int64().unwrap(), &[1, 2, 0]);
+        assert!(is_flexible(&s));
     }
 
     #[test]
     fn columns_evolved_after_merge_read_as_null() {
-        let mut t = Table::new("events", TableSchema::flexible());
-        t.insert(&Record::new().with("a", 1i64)).unwrap();
-        t.insert(&Record::new().with("a", 2i64)).unwrap();
+        let t = Table::new("events", TableSchema::flexible());
+        let o = TimestampOracle::new();
+        ins(&t, &o, &Record::new().with("a", 1i64));
+        ins(&t, &o, &Record::new().with("a", 2i64));
         t.merge();
-        t.insert(&Record::new().with("a", 3i64).with("b", 9i64)).unwrap();
+        ins(&t, &o, &Record::new().with("a", 3i64).with("b", 9i64));
         // Segment rows predate b: null there, value in the delta.
-        assert_eq!(t.null_count("b"), Some(2));
-        assert_eq!(t.validity("b").unwrap(), vec![false, false, true]);
-        assert_eq!(t.column("b").unwrap().as_int64().unwrap(), &[0, 0, 9]);
-        assert_eq!(t.get_int(1, 0), Some(0), "sentinel for pre-evolution segment rows");
+        let s = t.read();
+        assert_eq!(s.null_count("b"), Some(2));
+        assert_eq!(s.validity("b").unwrap(), vec![false, false, true]);
+        assert_eq!(s.column("b").unwrap().as_int64().unwrap(), &[0, 0, 9]);
+        assert_eq!(s.get_int(1, 0), Some(0), "sentinel for pre-evolution segment rows");
         // And merging again folds b into the new segment.
         t.merge();
-        assert_eq!(t.null_count("b"), Some(2));
-        assert_eq!(t.column("b").unwrap().as_int64().unwrap(), &[0, 0, 9]);
+        let s = t.read();
+        assert_eq!(s.null_count("b"), Some(2));
+        assert_eq!(s.column("b").unwrap().as_int64().unwrap(), &[0, 0, 9]);
     }
 
     #[test]
     fn strict_rejects_drift() {
-        let mut t = orders();
-        assert!(t.insert(&Record::new().with("id", 1i64)).is_err(), "missing amount");
-        assert!(t.insert(&Record::new().with("id", 1i64).with("amount", 1i64).with("new", 1i64)).is_err());
+        let (t, o) = orders();
+        assert!(t.insert(&Record::new().with("id", 1i64), &o).is_err(), "missing amount");
+        assert!(t
+            .insert(&Record::new().with("id", 1i64).with("amount", 1i64).with("new", 1i64), &o)
+            .is_err());
         assert_eq!(t.rows(), 10, "failed inserts must not partially apply rows");
     }
 
     #[test]
     fn planner_meta_reflects_data() {
-        let t = orders();
-        let meta = t.planner_meta();
+        let (t, _) = orders();
+        let meta = t.read().planner_meta();
         assert_eq!(meta.rows, 10);
         let id = meta.columns.iter().find(|c| c.name == "id").unwrap();
         assert_eq!(id.min, 0);
@@ -1116,10 +1417,10 @@ mod tests {
 
     #[test]
     fn planner_meta_stable_across_merge() {
-        let mut t = orders();
-        let before = t.planner_meta();
+        let (t, _) = orders();
+        let before = t.read().planner_meta();
         t.merge();
-        let after = t.planner_meta();
+        let after = t.read().planner_meta();
         assert_eq!(before.rows, after.rows);
         let (b, a) = (
             before.columns.iter().find(|c| c.name == "amount").unwrap(),
@@ -1132,71 +1433,79 @@ mod tests {
 
     #[test]
     fn zone_maps_cover_main_and_delta() {
-        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let o = TimestampOracle::new();
         for i in 0..100i64 {
-            t.insert(&Record::new().with("v", i)).unwrap();
+            ins(&t, &o, &Record::new().with("v", i));
         }
         t.merge();
         for i in 500..520i64 {
-            t.insert(&Record::new().with("v", i)).unwrap();
+            ins(&t, &o, &Record::new().with("v", i));
         }
-        let zones = t.zone_maps("v").unwrap();
+        let s = t.read();
+        let zones = s.zone_maps("v").unwrap();
         assert_eq!(zones.len(), 2);
         assert_eq!((zones[0].min, zones[0].max, zones[0].rows), (0, 99, 100));
         assert_eq!((zones[1].min, zones[1].max, zones[1].rows), (500, 519, 20));
-        assert!(t.zone_maps("nope").is_none());
+        assert!(s.zone_maps("nope").is_none());
     }
 
     #[test]
     fn gather_ints_spans_storage_kinds() {
-        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let o = TimestampOracle::new();
         for i in 0..200i64 {
-            t.insert(&Record::new().with("v", i * 2)).unwrap();
+            ins(&t, &o, &Record::new().with("v", i * 2));
         }
         t.merge();
         for i in 200..250i64 {
-            t.insert(&Record::new().with("v", i * 2)).unwrap();
+            ins(&t, &o, &Record::new().with("v", i * 2));
         }
+        let s = t.read();
         // Sparse positions (compressed random access) + delta positions.
         let pos: Vec<u32> = vec![0, 3, 199, 200, 249];
-        assert_eq!(t.gather_ints("v", Some(&pos)).unwrap(), vec![0, 6, 398, 400, 498]);
+        assert_eq!(s.gather_ints("v", Some(&pos)).unwrap(), vec![0, 6, 398, 400, 498]);
         // Dense positions (whole-segment decode path).
         let all: Vec<u32> = (0..250).collect();
-        let full = t.gather_ints("v", Some(&all)).unwrap();
-        assert_eq!(full, t.gather_ints("v", None).unwrap());
+        let full = s.gather_ints("v", Some(&all)).unwrap();
+        assert_eq!(full, s.gather_ints("v", None).unwrap());
         assert_eq!(full[123], 246);
     }
 
     #[test]
     fn gather_rows_any_order_with_duplicates() {
-        let mut t = Table::new(
+        let t = Table::new(
             "t",
             strict_schema(&[("v", DataType::Int64), ("f", DataType::Float64), ("s", DataType::Str)]),
         );
+        let o = TimestampOracle::new();
         let tags = ["de", "us", "fr", "de"];
         for i in 0..200i64 {
-            t.insert(
+            ins(
+                &t,
+                &o,
                 &Record::new()
                     .with("v", i * 2)
                     .with("f", i as f64 / 2.0)
                     .with("s", tags[i as usize % tags.len()]),
-            )
-            .unwrap();
+            );
         }
         t.merge();
         for i in 200..220i64 {
-            t.insert(
+            ins(
+                &t,
+                &o,
                 &Record::new()
                     .with("v", i * 2)
                     .with("f", i as f64 / 2.0)
                     .with("s", tags[i as usize % tags.len()]),
-            )
-            .unwrap();
+            );
         }
+        let snap = t.read();
         // Unsorted rows with duplicates, spanning main and delta.
         let rows: Vec<u32> = vec![210, 3, 199, 3, 1, 215];
         let names: Vec<String> = ["v", "f", "s"].iter().map(ToString::to_string).collect();
-        let (cols, stats) = t.gather_rows(&names, &rows).unwrap();
+        let (cols, stats) = snap.gather_rows(&names, &rows).unwrap();
         assert_eq!(cols[0].1.as_int64().unwrap(), &[420, 6, 398, 6, 2, 430]);
         assert_eq!(cols[1].1.as_float64().unwrap(), &[105.0, 1.5, 99.5, 1.5, 0.5, 107.5]);
         let s = cols[2].1.as_str().unwrap();
@@ -1208,10 +1517,10 @@ mod tests {
         assert!(stats.decode_items > 0, "main-segment cells are compressed random accesses");
         assert!(stats.bytes_read > 0 && stats.bytes_written > 0);
         // Empty gathers are free and shaped correctly.
-        let (empty, es) = t.gather_rows(&names, &[]).unwrap();
+        let (empty, es) = snap.gather_rows(&names, &[]).unwrap();
         assert!(empty.iter().all(|(_, c)| c.is_empty()));
         assert_eq!(es.decode_items, 0);
-        assert!(t.gather_rows(&["nope".to_string()], &[]).is_err());
+        assert!(snap.gather_rows(&["nope".to_string()], &[]).is_err());
     }
 
     #[test]
@@ -1222,27 +1531,29 @@ mod tests {
         assert!(!sparse_hits(10, 10));
     }
 
-    fn tagged_table() -> Table {
-        let mut t = Table::new("t", strict_schema(&[("v", DataType::Int64), ("s", DataType::Str)]));
+    fn tagged_table() -> (Table, TimestampOracle) {
+        let t = Table::new("t", strict_schema(&[("v", DataType::Int64), ("s", DataType::Str)]));
+        let o = TimestampOracle::new();
         let tags = ["de", "us", "fr", "de"];
         for i in 0..200i64 {
-            t.insert(&Record::new().with("v", i).with("s", tags[i as usize % tags.len()])).unwrap();
+            ins(&t, &o, &Record::new().with("v", i).with("s", tags[i as usize % tags.len()]));
         }
         t.merge();
         // Delta tail re-uses "de" (shared with the global dict) and adds
         // a fresh value.
         for i in 200..220i64 {
-            t.insert(&Record::new().with("v", i).with("s", if i % 2 == 0 { "de" } else { "jp" })).unwrap();
+            ins(&t, &o, &Record::new().with("v", i).with("s", if i % 2 == 0 { "de" } else { "jp" }));
         }
-        t
+        (t, o)
     }
 
     #[test]
     fn string_projection_carries_codes_with_shared_dict() {
-        let t = tagged_table();
+        let (t, _) = tagged_table();
+        let snap = t.read();
         let names = vec!["s".to_string()];
         // Full projection: every store, one output dictionary.
-        let (cols, stats) = t.materialize_columns(&names, None).unwrap();
+        let (cols, stats) = snap.materialize_columns(&names, None).unwrap();
         let s = cols[0].1.as_str().unwrap();
         assert_eq!(s.len(), 220);
         // Distinct values appear once each, despite living in two code
@@ -1254,7 +1565,7 @@ mod tests {
         assert!(stats.bytes_read > 0 && stats.bytes_written > 0);
         // Sparse projection: compressed random access, same answers.
         let pos: Vec<u32> = vec![1, 50, 201];
-        let (cols, sp) = t.materialize_columns(&names, Some(&pos)).unwrap();
+        let (cols, sp) = snap.materialize_columns(&names, Some(&pos)).unwrap();
         let s = cols[0].1.as_str().unwrap();
         assert_eq!(s.iter().collect::<Vec<_>>(), vec!["us", "fr", "jp"]);
         assert_eq!(s.dict_size(), 3, "only touched values enter the dictionary");
@@ -1263,39 +1574,208 @@ mod tests {
 
     #[test]
     fn materialize_stats_bill_the_path_taken() {
-        let t = tagged_table();
+        let (t, _) = tagged_table();
+        let snap = t.read();
         let names = vec!["v".to_string()];
         // Dense: the segment streams its encoded bytes once.
-        let (_, dense) = t.materialize_columns(&names, None).unwrap();
-        let encoded = t.segments()[0].column(0).unwrap().encoded_bytes() as u64;
+        let (_, dense) = snap.materialize_columns(&names, None).unwrap();
+        let encoded = snap.segments()[0].column(0).unwrap().encoded_bytes() as u64;
         assert_eq!(dense.decode_items, 200);
         assert_eq!(dense.bytes_read, encoded + 20 * 8, "encoded segment + flat delta");
         // Sparse: per-cell random access, 8 B each.
         let pos: Vec<u32> = vec![0, 199, 210];
-        let (_, sparse) = t.materialize_columns(&names, Some(&pos)).unwrap();
+        let (_, sparse) = snap.materialize_columns(&names, Some(&pos)).unwrap();
         assert_eq!(sparse.decode_items, 2);
         assert_eq!(sparse.bytes_read, 2 * 8 + 8, "two random cells + one delta cell");
-        assert!(t.materialize_columns(&["nope".to_string()], None).is_err());
+        assert!(snap.materialize_columns(&["nope".to_string()], None).is_err());
     }
 
     #[test]
     fn size_grows_with_rows() {
-        let small = orders().size_bytes();
-        let mut big = orders();
+        let small = orders().0.read().size_bytes();
+        let (big, o) = orders();
         for i in 10..1000 {
-            big.insert(&Record::new().with("id", i as i64).with("amount", 1i64)).unwrap();
+            ins(&big, &o, &Record::new().with("id", i as i64).with("amount", 1i64));
         }
-        assert!(big.size_bytes() > small);
+        assert!(big.read().size_bytes() > small);
     }
 
     #[test]
     fn merge_threshold_knob() {
-        let mut t = orders();
+        let (t, _) = orders();
         assert_eq!(t.merge_threshold(), SEGMENT_ROWS);
         assert!(!t.needs_merge());
         t.set_merge_threshold(5);
         assert!(t.needs_merge());
         t.merge();
         assert!(!t.needs_merge());
+    }
+
+    // ---- MVCC: snapshots, timestamps, merge swap ----
+
+    #[test]
+    fn snapshot_is_immutable_under_inserts() {
+        let (t, o) = orders();
+        let snap = t.snapshot(&o);
+        assert_eq!(snap.rows(), 10);
+        ins(&t, &o, &Record::new().with("id", 10i64).with("amount", 100i64));
+        assert_eq!(t.rows(), 11);
+        assert_eq!(snap.rows(), 10, "the pin is a copy, not a view of live state");
+        assert_eq!(snap.column("amount").unwrap().as_int64().unwrap().len(), 10);
+        // A fresh snapshot sees the new row.
+        assert_eq!(t.snapshot(&o).rows(), 11);
+    }
+
+    #[test]
+    fn pin_at_sees_exactly_the_prefix() {
+        let t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let o = TimestampOracle::new();
+        let mut stamps = Vec::new();
+        for i in 0..6i64 {
+            stamps.push(t.insert(&Record::new().with("v", i), &o).unwrap().0);
+        }
+        for (i, &ts) in stamps.iter().enumerate() {
+            let s = t.pin_at(ts).expect("nothing merged yet");
+            assert_eq!(s.rows(), i + 1, "exactly the rows committed before the pin");
+            assert_eq!(s.timestamp(), ts);
+            assert_eq!(s.get_int(0, i), Some(i as i64));
+        }
+        assert_eq!(t.pin_at(Timestamp::ZERO).unwrap().rows(), 0, "pre-history sees nothing");
+    }
+
+    #[test]
+    fn pin_at_refuses_timestamps_older_than_a_merge() {
+        let (t, o) = orders();
+        let old = t.snapshot(&o).timestamp();
+        ins(&t, &o, &Record::new().with("id", 10i64).with("amount", 100i64));
+        t.merge();
+        // The merge folded a row newer than `old` into timestamp-less
+        // segments; that version can no longer serve the old pin.
+        assert!(t.pin_at(old).is_none());
+        // A fresh timestamp pins fine (and sees everything).
+        let fresh = t.pin_at(o.next()).expect("current version serves fresh timestamps");
+        assert_eq!(fresh.rows(), 11);
+        // And a second merge with an empty delta changes nothing.
+        t.merge();
+        assert!(t.pin_at(fresh.timestamp()).is_some());
+    }
+
+    #[test]
+    fn snapshot_survives_merge_swap() {
+        let (t, o) = orders();
+        let snap = t.snapshot(&o);
+        let epoch = snap.epoch();
+        t.merge();
+        assert_eq!(t.epoch(), epoch + 1, "merge published a new version");
+        // The old pin still reads the pre-merge layout, answers intact.
+        assert_eq!(snap.epoch(), epoch);
+        assert_eq!(snap.main_rows(), 0);
+        assert_eq!(snap.delta_rows(), 10);
+        assert_eq!(
+            snap.column("amount").unwrap().as_int64().unwrap(),
+            &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90]
+        );
+        // The new layout holds identical data.
+        let now = t.read();
+        assert_eq!(now.main_rows(), 10);
+        assert_eq!(
+            now.column("amount").unwrap().as_int64().unwrap(),
+            snap.column("amount").unwrap().as_int64().unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_pins_dictionary_state() {
+        let t = Table::new("t", strict_schema(&[("s", DataType::Str)]));
+        let o = TimestampOracle::new();
+        ins(&t, &o, &Record::new().with("s", "a"));
+        ins(&t, &o, &Record::new().with("s", "b"));
+        let snap = t.snapshot(&o);
+        // Grow the dictionary after the pin, then freeze it via merge.
+        ins(&t, &o, &Record::new().with("s", "c"));
+        ins(&t, &o, &Record::new().with("s", "d"));
+        t.merge();
+        let col = snap.column("s").unwrap();
+        let s = col.as_str().unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(s.dict_size(), 2, "dictionary growth after the pin is invisible");
+        assert_eq!(t.read().column("s").unwrap().as_str().unwrap().dict_size(), 4);
+    }
+
+    #[test]
+    fn oracle_timestamps_monotone_across_insert_merge_snapshot() {
+        let t = Table::new("t", strict_schema(&[("v", DataType::Int64)]));
+        let o = TimestampOracle::new();
+        let mut last = Timestamp::ZERO;
+        for round in 0..3i64 {
+            for i in 0..5i64 {
+                let (ts, row) = t.insert(&Record::new().with("v", round * 5 + i), &o).unwrap();
+                assert!(ts > last, "insert timestamps strictly increase");
+                assert_eq!(row as i64, round * 6 + i, "row ids are insertion order");
+                last = ts;
+            }
+            let snap = t.snapshot(&o);
+            assert!(snap.timestamp() > last, "snapshot timestamps join the same total order");
+            last = snap.timestamp();
+            t.merge();
+            let (ts, _) = t.insert(&Record::new().with("v", -1), &o).unwrap();
+            assert!(ts > last, "a merge never resets or reuses timestamps");
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn with_pending_reads_own_writes() {
+        let (t, o) = orders();
+        let snap = t.snapshot(&o);
+        let pending = vec![Record::new().with("id", 10i64).with("amount", 100i64)];
+        let rw = snap.with_pending(&pending).unwrap();
+        assert_eq!(rw.rows(), 11);
+        assert_eq!(rw.get_int(1, 10), Some(100), "the overlay row reads back");
+        assert_eq!(snap.rows(), 10, "the base pin is untouched");
+        assert_eq!(t.rows(), 10, "nothing was committed to the table");
+        // Schema violations in the overlay surface as errors.
+        assert!(snap.with_pending(&[Record::new().with("id", 1i64)]).is_err());
+    }
+
+    #[test]
+    fn delta_suffix_rebuilds_compact_dictionary() {
+        let mut d = DictColumn::new();
+        for v in ["a", "b", "a", "c"] {
+            d.push(v);
+        }
+        let suffix = column_suffix(&Column::Str(d), 3);
+        let s = suffix.as_str().unwrap();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec!["c"]);
+        assert_eq!(s.dict_size(), 1, "stale entries must not leak into the next merge's global dict");
+    }
+
+    #[test]
+    fn concurrent_inserts_during_merge_stay_in_delta() {
+        use std::sync::Barrier;
+        let t = Arc::new(Table::new("t", strict_schema(&[("v", DataType::Int64)])));
+        let o = Arc::new(TimestampOracle::new());
+        for i in 0..1000i64 {
+            ins(&t, &o, &Record::new().with("v", i));
+        }
+        let barrier = Arc::new(Barrier::new(2));
+        let writer = {
+            let (t, o, barrier) = (Arc::clone(&t), Arc::clone(&o), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 1000..1200i64 {
+                    ins(&t, &o, &Record::new().with("v", i));
+                }
+            })
+        };
+        barrier.wait();
+        t.merge();
+        writer.join().unwrap();
+        t.merge();
+        let s = t.read();
+        assert_eq!(s.rows(), 1200);
+        let v = s.column("v").unwrap();
+        let expected: Vec<i64> = (0..1200).collect();
+        assert_eq!(v.as_int64().unwrap(), &expected[..], "no row lost or duplicated across the swap");
     }
 }

@@ -28,7 +28,7 @@ fn ops() -> impl Strategy<Value = CmpOp> {
 }
 
 fn make_db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("l", &[("k", DataType::Int64), ("amount", DataType::Int64), ("tag", DataType::Str)])
         .unwrap();
     db.create_table("r", &[("k", DataType::Int64), ("score", DataType::Int64), ("tag", DataType::Str)])

@@ -25,7 +25,7 @@ fn ops() -> impl Strategy<Value = CmpOp> {
 }
 
 fn make_db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         &[
@@ -120,5 +120,65 @@ proptest! {
                 expected.iter().map(|r| r.2.as_str()).collect();
             prop_assert_eq!(tags.dict_size(), distinct.len(), "{}: output dictionary is minimal", label);
         }
+    }
+
+    /// A snapshot pinned before a dictionary-growing merge keeps
+    /// decoding its string codes against the pinned dictionary state:
+    /// rows and values the merge (and the post-merge tail) interned
+    /// later are invisible, and the projection still decodes
+    /// byte-identically to the reference prefix.
+    #[test]
+    fn pinned_snapshot_decodes_against_pinned_dictionary(
+        base in proptest::collection::vec((0i64..300, -50i64..50, 0usize..5), 1..150),
+        tail in proptest::collection::vec((0i64..300, -50i64..50, 0usize..3), 1..60),
+        op in ops(),
+        lit in -60i64..360,
+    ) {
+        let reference: Vec<Row> = base
+            .iter()
+            .map(|&(id, amount, t)| (id, amount, TAGS[t].to_string(), format!("n{}", id % 7)))
+            .collect();
+        let mut db = make_db();
+        for row in &reference {
+            insert_row(&mut db, row);
+        }
+
+        // Pin now: the tail below carries values no dictionary has seen,
+        // and the merge folds them into a *grown* global dictionary.
+        let snap = db.begin_snapshot();
+
+        for &(id, amount, t) in &tail {
+            db.insert(
+                "t",
+                &Record::new()
+                    .with("id", id)
+                    .with("amount", amount)
+                    .with("tag", format!("fresh-{t}").as_str())
+                    .with("name", format!("n{}", id % 7).as_str()),
+            )
+            .unwrap();
+        }
+        db.merge("t").unwrap();
+
+        let q = Query::scan("t").filter("id", op, lit).select(["tag", "name"]);
+        let expected: Vec<&Row> = reference.iter().filter(|r| op.eval(r.0, lit)).collect();
+        let out = snap.execute(&q).unwrap();
+        prop_assert_eq!(out.rows.rows(), expected.len(), "pinned snapshot: row count");
+        let tags = out.rows.column("tag").unwrap().as_str().unwrap();
+        let names = out.rows.column("name").unwrap().as_str().unwrap();
+        for (i, want) in expected.iter().enumerate() {
+            prop_assert_eq!(tags.get(i), Some(want.2.as_str()), "pinned snapshot: tag row {}", i);
+            prop_assert_eq!(names.get(i), Some(want.3.as_str()), "pinned snapshot: name row {}", i);
+        }
+        // The later dictionary growth is invisible: no `fresh-*` value
+        // can appear in the snapshot's output dictionary.
+        let distinct: std::collections::BTreeSet<&str> =
+            expected.iter().map(|r| r.2.as_str()).collect();
+        prop_assert_eq!(tags.dict_size(), distinct.len(), "pinned snapshot: dictionary is minimal");
+
+        // Control: a fresh snapshot sees base + tail through the merged,
+        // grown dictionary.
+        let all = db.table("t").unwrap().rows();
+        prop_assert_eq!(all, reference.len() + tail.len());
     }
 }

@@ -24,7 +24,7 @@ fn ops() -> impl Strategy<Value = CmpOp> {
 }
 
 fn make_db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         &[

@@ -106,7 +106,7 @@ struct LockState {
 pub struct TxnManager {
     versions: RwLock<HashMap<Key, Vec<Version>>>,
     locks: Mutex<HashMap<Key, LockState>>,
-    oracle: TimestampOracle,
+    oracle: std::sync::Arc<TimestampOracle>,
     scheme: CcScheme,
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -180,16 +180,29 @@ impl Transaction {
 }
 
 impl TxnManager {
-    /// Creates an empty store under the given scheme.
+    /// Creates an empty store under the given scheme, with a private
+    /// timestamp oracle.
     pub fn new(scheme: CcScheme) -> Self {
+        TxnManager::with_oracle(scheme, std::sync::Arc::new(TimestampOracle::new()))
+    }
+
+    /// Creates an empty store that draws timestamps from a **shared**
+    /// oracle, so snapshots here and elsewhere (e.g. a columnar store's
+    /// own snapshot reads) order against each other on one timeline.
+    pub fn with_oracle(scheme: CcScheme, oracle: std::sync::Arc<TimestampOracle>) -> Self {
         TxnManager {
             versions: RwLock::new(HashMap::new()),
             locks: Mutex::new(HashMap::new()),
-            oracle: TimestampOracle::new(),
+            oracle,
             scheme,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
         }
+    }
+
+    /// The shared timestamp oracle.
+    pub fn oracle(&self) -> &std::sync::Arc<TimestampOracle> {
+        &self.oracle
     }
 
     /// The active scheme.

@@ -8,7 +8,7 @@ use haecdb::prelude::*;
 
 fn main() -> DbResult<()> {
     // A database over the default 2013 commodity-server power model.
-    let mut db = Database::new();
+    let db = Database::new();
     println!(
         "machine: {} cores, idle floor {:.0} W, peak {:.0} W",
         db.machine().cores(),

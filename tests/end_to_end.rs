@@ -94,7 +94,7 @@ fn need_to_know_index_defers_until_query() {
 
 #[test]
 fn flexible_schema_interoperates_with_queries_and_indexes() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_flexible_table("events").unwrap();
     for i in 0..1_000i64 {
         let mut r = Record::new().with("user", i % 50);

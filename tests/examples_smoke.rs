@@ -7,7 +7,7 @@ use haecdb::prelude::*;
 
 #[test]
 fn quickstart_code_path_works() {
-    let mut db = Database::new();
+    let db = Database::new();
     assert!(db.machine().cores() >= 1);
     assert!(db.machine().idle_floor().watts() > 0.0);
 

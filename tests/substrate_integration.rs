@@ -59,7 +59,7 @@ fn real_compression_ratio_feeds_the_shipping_decision() {
 fn planner_costs_real_tables_consistently() {
     // Build a real table, extract its stats, and check the planner's
     // access decision against actually executing both ways.
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("t", &[("k", DataType::Int64), ("v", DataType::Int64)]).unwrap();
     for i in 0..50_000i64 {
         db.insert("t", &Record::new().with("k", i).with("v", i % 100)).unwrap();
@@ -128,7 +128,7 @@ fn end_to_end_energy_story_is_self_consistent() {
     // aggregate), using the database's own meter.
     let mut energies = Vec::new();
     for rows in [10_000i64, 40_000, 160_000] {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table("t", &[("v", DataType::Int64)]).unwrap();
         for i in 0..rows {
             db.insert("t", &Record::new().with("v", i % 1000)).unwrap();
