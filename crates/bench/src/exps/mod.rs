@@ -23,6 +23,7 @@ pub mod e18_agg_pushdown;
 pub mod e19_join_compressed;
 pub mod e20_late_materialization;
 pub mod e21_mvcc_snapshots;
+pub mod e22_query_server;
 
 use crate::report::Report;
 
@@ -53,6 +54,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e19", e19_join_compressed::run),
         ("e20", e20_late_materialization::run),
         ("e21", e21_mvcc_snapshots::run),
+        ("e22", e22_query_server::run),
         ("a01", a01_ablations::run),
     ]
 }

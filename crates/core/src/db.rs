@@ -41,7 +41,7 @@ use haec_energy::profile::{CostEstimator, ExecutionContext, ResourceProfile};
 use haec_energy::units::{ByteCount, Joules};
 use haec_exec::agg::{aggregate, AggKind, AggState};
 use haec_exec::join::{sort_merge_join_pairs, HashJoin, HASH_BUCKET_BYTES};
-use haec_exec::morsel::parallel_morsels;
+use haec_exec::pool::{ExecOpts, MorselGate, RunSpec, WorkerPool};
 use haec_exec::select::{select_metered, SelectKernel};
 use haec_planner::access::{choose_access_segmented, join_zone_overlap, AccessPath, ZoneMapMeta};
 use haec_planner::cost::{CostModel, JoinAlgo, JoinSideCost, PlanCost};
@@ -459,6 +459,18 @@ impl KeyCol {
     }
 }
 
+/// Unit-invariant inputs of one side's key extraction, shared by every
+/// execution unit [`Database::unit_join_keys`] streams.
+#[derive(Clone, Copy)]
+struct KeyScan<'a> {
+    /// The side's resolved key column.
+    key: &'a KeyCol,
+    /// Build-side key range for probe-side zone pruning, if any.
+    prune: Option<(i64, i64)>,
+    /// Delta-tail chunking granularity (see `delta_unit_rows`).
+    unit_rows: usize,
+}
+
 /// The build side's string-key space. `""` always resolves to a key —
 /// real `""` rows and sentinel rows of segments predating the column
 /// must be able to meet across tables.
@@ -601,6 +613,15 @@ pub struct Database {
     /// The shared source of all timestamps: inserts, snapshots and
     /// transactions draw from one total order.
     oracle: Arc<TimestampOracle>,
+    /// The persistent worker pool every query executes on — shared
+    /// across all queries of this database (and, via
+    /// [`WorkerPool::global`], usually across the whole process), so a
+    /// query never creates a thread.
+    pool: Arc<WorkerPool>,
+    /// Parallelism used when a query carries no explicit grant —
+    /// resolved **once** at construction from the pool width and the
+    /// machine model, never re-queried from the OS per query.
+    default_dop: usize,
 }
 
 impl Database {
@@ -609,8 +630,17 @@ impl Database {
         Database::with_machine(MachineSpec::commodity_2013())
     }
 
-    /// Creates a database over an explicit machine model.
+    /// Creates a database over an explicit machine model, executing on
+    /// the process-wide [`WorkerPool::global`].
     pub fn with_machine(machine: MachineSpec) -> Self {
+        Database::with_machine_and_pool(machine, Arc::clone(WorkerPool::global()))
+    }
+
+    /// Creates a database over an explicit machine model **and** worker
+    /// pool — a query server supplies its own sized pool; everything
+    /// else shares the process-wide one via [`Database::with_machine`].
+    pub fn with_machine_and_pool(machine: MachineSpec, pool: Arc<WorkerPool>) -> Self {
+        let default_dop = pool.workers().min(machine.cores()).max(1);
         Database {
             estimator: CostEstimator::new(machine.clone()),
             machine,
@@ -620,7 +650,14 @@ impl Database {
             indexes: Mutex::new(HashMap::new()),
             goal: Mutex::new(Goal::MinTime),
             oracle: Arc::new(TimestampOracle::new()),
+            pool,
+            default_dop,
         }
+    }
+
+    /// The worker pool this database's queries execute on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Sets the session optimization goal (Fig. 2's knob).
@@ -841,13 +878,27 @@ impl Database {
     ///
     /// Unknown tables/columns, type mismatches, and malformed queries.
     pub fn execute(&self, query: &Query) -> DbResult<QueryResult> {
+        self.execute_opts(query, &ExecOpts::default())
+    }
+
+    /// Executes a query with explicit [`ExecOpts`] — the surface a
+    /// query server's governor grant (parallelism degree, morsel size,
+    /// fleet-wide in-flight [`MorselGate`]) travels through to reach
+    /// the engine. A nonzero `opts.dop` also opts small tables into
+    /// pooled dispatch (the default path only parallelizes above
+    /// [`PARALLEL_SCAN_ROWS`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Database::execute`].
+    pub fn execute_opts(&self, query: &Query, opts: &ExecOpts) -> DbResult<QueryResult> {
         if let Some(jc) = &query.join {
             let lt = self.table(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
             let rt = self.table(&jc.table).ok_or_else(|| DbError::NoSuchTable(jc.table.clone()))?;
-            return self.execute_join_pinned(&lt, &rt, query, jc);
+            return self.execute_join_pinned(&lt, &rt, query, jc, opts);
         }
         let t = self.table(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
-        self.execute_pinned(&t, query, true)
+        self.execute_pinned(&t, query, true, opts)
     }
 
     /// Executes a single-table query against one pinned
@@ -858,7 +909,13 @@ impl Database {
     /// newer than the pin are filtered out by global row id.
     /// `use_indexes` is off for overlay views, whose pending rows the
     /// live indexes do not cover.
-    fn execute_pinned(&self, t: &TableSnapshot, query: &Query, use_indexes: bool) -> DbResult<QueryResult> {
+    fn execute_pinned(
+        &self,
+        t: &TableSnapshot,
+        query: &Query,
+        use_indexes: bool,
+        opts: &ExecOpts,
+    ) -> DbResult<QueryResult> {
         let started = std::time::Instant::now();
         let mut profile = ResourceProfile::default();
         let mut access_path = None;
@@ -950,7 +1007,7 @@ impl Database {
             }
             None if !int_preds.is_empty() || !str_preds.is_empty() => {
                 // --- segment-granular scan on compressed data ----------
-                let (pos, scan_profile) = self.scan_segmented(t, &int_preds, &str_preds);
+                let (pos, scan_profile) = self.scan_segmented(t, &int_preds, &str_preds, opts);
                 profile += scan_profile;
                 positions = Some(pos);
             }
@@ -986,7 +1043,7 @@ impl Database {
                     None => None,
                 };
                 let spec = AggSpec { kind: *kind, vidx, group: gcol.as_ref() };
-                let (acc, agg_profile) = self.aggregate_segmented(t, spec, positions.as_deref());
+                let (acc, agg_profile) = self.aggregate_segmented(t, spec, positions.as_deref(), opts);
                 profile += agg_profile;
                 let agg_name = format!("{kind}({value_col})");
                 match (acc, &gcol) {
@@ -1064,6 +1121,7 @@ impl Database {
         rt: &TableSnapshot,
         query: &Query,
         jc: &JoinClause,
+        opts: &ExecOpts,
     ) -> DbResult<QueryResult> {
         let started = std::time::Instant::now();
         if query.group_by.is_some() || query.agg.is_some() {
@@ -1097,14 +1155,14 @@ impl Database {
         let lpos = if l_int.is_empty() && l_str.is_empty() {
             None
         } else {
-            let (p, pr) = self.scan_segmented(lt, &l_int, &l_str);
+            let (p, pr) = self.scan_segmented(lt, &l_int, &l_str, opts);
             profile += pr;
             Some(p)
         };
         let rpos = if r_int.is_empty() && r_str.is_empty() {
             None
         } else {
-            let (p, pr) = self.scan_segmented(rt, &r_int, &r_str);
+            let (p, pr) = self.scan_segmented(rt, &r_int, &r_str, opts);
             profile += pr;
             Some(p)
         };
@@ -1168,7 +1226,7 @@ impl Database {
         };
 
         // --- build, then probe (both streaming on encoded data) -------
-        let (bkeys, bprof) = self.extract_join_keys(bt, &bkey, bpos.as_deref(), None);
+        let (bkeys, bprof) = self.extract_join_keys(bt, &bkey, bpos.as_deref(), None, opts);
         profile += bprof;
         let pairs: Vec<(u32, u32)> = if bkeys.is_empty() {
             Vec::new()
@@ -1183,7 +1241,7 @@ impl Database {
                     // distinct probe value — O(dictionary), billed as such.
                     profile.cpu_cycles += self.costs.cycles_for(Kernel::HashProbe, lookups);
                     profile.dram_read += ByteCount::new(lookups * HASH_BUCKET_BYTES);
-                    let (pairs, pprof) = self.probe_hash_join(pt, &pkey, ppos.as_deref(), prune, &join);
+                    let (pairs, pprof) = self.probe_hash_join(pt, &pkey, ppos.as_deref(), prune, &join, opts);
                     profile += pprof;
                     pairs
                 }
@@ -1194,7 +1252,7 @@ impl Database {
                     // Range membership here is a comparison per distinct
                     // probe value, not a hash probe.
                     profile.cpu_cycles += self.costs.cycles_for(Kernel::SelectBitwise, lookups);
-                    let (mut pkeys, pprof) = self.extract_join_keys(pt, &pkey, ppos.as_deref(), prune);
+                    let (mut pkeys, pprof) = self.extract_join_keys(pt, &pkey, ppos.as_deref(), prune, opts);
                     profile += pprof;
                     let mut bkeys = bkeys;
                     let out = sort_merge_join_pairs(&mut bkeys, &mut pkeys);
@@ -1286,15 +1344,18 @@ impl Database {
         key: &KeyCol,
         positions: Option<&[u32]>,
         prune: Option<(i64, i64)>,
+        opts: &ExecOpts,
     ) -> (Vec<(i64, u32)>, ResourceProfile) {
-        let unit_hits = split_unit_hits(t, positions);
-        let parts = self.eval_units(t, |u| {
+        let unit_rows = delta_unit_rows(opts);
+        let unit_hits = split_unit_hits(t, positions, unit_rows);
+        let scan = KeyScan { key, prune, unit_rows };
+        let parts = self.eval_units(t, opts, |u| {
             let hits = unit_hits.as_ref().map(|v| v[u]);
             if hits.is_some_and(<[u32]>::is_empty) {
                 return (Vec::new(), ResourceProfile::default());
             }
             let mut kv = Vec::new();
-            let mut profile = self.unit_join_keys(t, u, key, hits, prune, |k, row| kv.push((k, row)));
+            let mut profile = self.unit_join_keys(t, u, hits, &scan, |k, row| kv.push((k, row)));
             // The extracted pair vector is real intermediate traffic.
             profile.dram_written += ByteCount::new(kv.len() as u64 * 12);
             (kv, profile)
@@ -1320,9 +1381,12 @@ impl Database {
         positions: Option<&[u32]>,
         prune: Option<(i64, i64)>,
         join: &HashJoin,
+        opts: &ExecOpts,
     ) -> (Vec<(u32, u32)>, ResourceProfile) {
-        let unit_hits = split_unit_hits(t, positions);
-        let parts = self.eval_units(t, |u| {
+        let unit_rows = delta_unit_rows(opts);
+        let unit_hits = split_unit_hits(t, positions, unit_rows);
+        let scan = KeyScan { key, prune, unit_rows };
+        let parts = self.eval_units(t, opts, |u| {
             let hits = unit_hits.as_ref().map(|v| v[u]);
             if hits.is_some_and(<[u32]>::is_empty) {
                 return (Vec::new(), ResourceProfile::default());
@@ -1331,7 +1395,7 @@ impl Database {
             // (key, row) vector is ever materialized (or billed).
             let mut pairs = Vec::new();
             let mut probed = 0u64;
-            let mut profile = self.unit_join_keys(t, u, key, hits, prune, |k, row| {
+            let mut profile = self.unit_join_keys(t, u, hits, &scan, |k, row| {
                 probed += 1;
                 if let Some(ms) = join.matches(k) {
                     for &b in ms {
@@ -1356,19 +1420,19 @@ impl Database {
     /// Streams one execution unit's `(join key, global row)` pairs into
     /// `sink`: a main segment streams (or random-accesses, for sparse
     /// hits) its encoded key column after the zone check against
-    /// `prune`; a delta chunk reads its flat tail. Probe-side `NO_KEY`
-    /// rows (string values the build side never interned) are dropped
-    /// here. Returns the work billed — the sink's own storage (if any)
-    /// is the caller's to bill.
+    /// `scan.prune`; a delta chunk reads its flat tail. Probe-side
+    /// `NO_KEY` rows (string values the build side never interned) are
+    /// dropped here. Returns the work billed — the sink's own storage
+    /// (if any) is the caller's to bill.
     fn unit_join_keys(
         &self,
         t: &TableSnapshot,
         u: usize,
-        key: &KeyCol,
         hits: Option<&[u32]>,
-        prune: Option<(i64, i64)>,
+        scan: &KeyScan<'_>,
         mut sink: impl FnMut(i64, u32),
     ) -> ResourceProfile {
+        let KeyScan { key, prune, unit_rows } = *scan;
         let nsegs = t.segments().len();
         let mut profile = ResourceProfile::default();
         // `NO_KEY` is a *string-key* sentinel (a value the build side
@@ -1447,7 +1511,7 @@ impl Database {
                 }
             }
         } else {
-            let (start, end) = delta_chunk(t, u - nsegs);
+            let (start, end) = delta_chunk(t, u - nsegs, unit_rows);
             let base = t.main_rows();
             let (key_at, width): (Box<dyn Fn(usize) -> i64 + '_>, u64) = match key {
                 KeyCol::Int(idx) => {
@@ -1490,22 +1554,25 @@ impl Database {
     /// [`haec_columnar::encoding::EncodedInts::scan`] directly on the
     /// compressed column — main-segment data is **never decoded** for
     /// predicate evaluation. The delta runs the flat bitwise kernel,
-    /// chunked into [`crate::segment::SEGMENT_ROWS`]-sized units so an
+    /// chunked into morsel-sized units (see [`delta_unit_rows`]) so an
     /// oversized (merge-disabled) delta still parallelizes. Above
-    /// [`PARALLEL_SCAN_ROWS`] total rows, units are dispatched as
-    /// morsels over real threads.
+    /// [`PARALLEL_SCAN_ROWS`] total rows — or whenever the query
+    /// carries an explicit parallelism grant — units are dispatched as
+    /// morsels over the shared worker pool.
     fn scan_segmented(
         &self,
         t: &TableSnapshot,
         int_preds: &[IntPred],
         str_preds: &[StrPred],
+        opts: &ExecOpts,
     ) -> (Vec<u32>, ResourceProfile) {
         let nsegs = t.segments().len();
-        let parts = self.eval_units(t, |u| {
+        let unit_rows = delta_unit_rows(opts);
+        let parts = self.eval_units(t, opts, |u| {
             if u < nsegs {
                 self.eval_segment(t, u, int_preds, str_preds)
             } else {
-                let (start, end) = delta_chunk(t, u - nsegs);
+                let (start, end) = delta_chunk(t, u - nsegs, unit_rows);
                 self.eval_delta(t, start, end, int_preds, str_preds)
             }
         });
@@ -1519,27 +1586,34 @@ impl Database {
     }
 
     /// Runs `eval` over every execution unit of `t` — one per main
-    /// segment plus one per [`crate::segment::SEGMENT_ROWS`]-sized delta
-    /// chunk (see [`delta_chunk`]) — and returns the per-unit results in
-    /// unit order. Above [`PARALLEL_SCAN_ROWS`] total rows, units are
-    /// dispatched as one-unit morsels over real threads. Both the scan
-    /// and the aggregation pushdown go through here, so they can never
-    /// disagree on parallel granularity.
-    fn eval_units<R>(&self, t: &TableSnapshot, eval: impl Fn(usize) -> R + Sync) -> Vec<R>
+    /// segment plus one per [`delta_unit_rows`]-sized delta chunk (see
+    /// [`delta_chunk`]) — and returns the per-unit results in unit
+    /// order. Units are dispatched as morsels over the shared
+    /// [`WorkerPool`] when the query carries an explicit parallelism
+    /// grant (`opts.dop > 0`), or above [`PARALLEL_SCAN_ROWS`] total
+    /// rows on the default path; the degree of parallelism comes from
+    /// the grant (or the cached construction-time default — never a
+    /// per-query OS call). Scans, aggregation pushdown and join-key
+    /// streaming all go through here, so they can never disagree on
+    /// parallel granularity.
+    fn eval_units<R>(&self, t: &TableSnapshot, opts: &ExecOpts, eval: impl Fn(usize) -> R + Sync) -> Vec<R>
     where
-        R: Send + Clone,
+        R: Send,
     {
-        let units = t.segments().len() + t.delta_rows().div_ceil(crate::segment::SEGMENT_ROWS);
-        if t.rows() >= PARALLEL_SCAN_ROWS && units > 1 {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(self.machine.cores())
-                .min(units);
-            let mut parts = parallel_morsels(
+        let unit_rows = delta_unit_rows(opts);
+        let units = t.segments().len() + t.delta_rows().div_ceil(unit_rows);
+        let dop = if opts.dop > 0 { opts.dop } else { self.default_dop };
+        let pooled = units > 1 && dop > 1 && (opts.dop > 0 || t.rows() >= PARALLEL_SCAN_ROWS);
+        if pooled {
+            // Above one segment's worth of rows per morsel, batch whole
+            // units per dispenser grab; below, one morsel = one unit
+            // (a main segment is the finest unit storage defines).
+            let units_per_grab = (opts.morsel_rows.max(1) / crate::segment::SEGMENT_ROWS).max(1);
+            let spec =
+                RunSpec { dop: dop.min(units), morsel_rows: units_per_grab, gate: opts.gate.as_deref() };
+            let mut parts = self.pool.run(
                 units,
-                threads,
-                1, // one morsel = one segment (or delta chunk)
+                spec,
                 |m| (m.start..m.end).map(|u| (u, eval(u))).collect::<Vec<_>>(),
                 |mut a: Vec<(usize, R)>, b| {
                     a.extend(b);
@@ -1550,7 +1624,15 @@ impl Database {
             parts.sort_unstable_by_key(|&(u, _)| u);
             parts.into_iter().map(|(_, r)| r).collect()
         } else {
-            (0..units).map(eval).collect()
+            // Serial path: still hold one gate permit per unit, so the
+            // fleet-wide in-flight accounting a server's energy cap
+            // relies on stays exact for *every* admitted query.
+            (0..units)
+                .map(|u| {
+                    let _permit = opts.gate.as_deref().map(MorselGate::acquire);
+                    eval(u)
+                })
+                .collect()
         }
     }
 
@@ -1709,10 +1791,12 @@ impl Database {
         t: &TableSnapshot,
         spec: AggSpec<'_>,
         positions: Option<&[u32]>,
+        opts: &ExecOpts,
     ) -> (AggAcc, ResourceProfile) {
         let nsegs = t.segments().len();
-        let unit_hits = split_unit_hits(t, positions);
-        let parts = self.eval_units(t, |u| {
+        let unit_rows = delta_unit_rows(opts);
+        let unit_hits = split_unit_hits(t, positions, unit_rows);
+        let parts = self.eval_units(t, opts, |u| {
             let hits = unit_hits.as_ref().map(|v| v[u]);
             if hits.is_some_and(<[u32]>::is_empty) {
                 return (AggAcc::identity(spec.group.is_some()), ResourceProfile::default());
@@ -1720,7 +1804,7 @@ impl Database {
             if u < nsegs {
                 self.agg_segment(t, u, spec, hits)
             } else {
-                let (start, end) = delta_chunk(t, u - nsegs);
+                let (start, end) = delta_chunk(t, u - nsegs, unit_rows);
                 self.agg_delta(t, start, end, spec, hits)
             }
         });
@@ -2110,13 +2194,24 @@ impl DbSnapshot<'_> {
     /// Same failure modes as [`Database::execute`]; tables created
     /// after the pin are invisible ([`DbError::NoSuchTable`]).
     pub fn execute(&self, query: &Query) -> DbResult<QueryResult> {
+        self.execute_opts(query, &ExecOpts::default())
+    }
+
+    /// Executes a query against the pinned state with explicit
+    /// [`ExecOpts`] — how a query server runs a governor-granted query
+    /// on its pinned snapshot (see [`Database::execute_opts`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DbSnapshot::execute`].
+    pub fn execute_opts(&self, query: &Query, opts: &ExecOpts) -> DbResult<QueryResult> {
         if let Some(jc) = &query.join {
             let lt = self.table(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
             let rt = self.table(&jc.table).ok_or_else(|| DbError::NoSuchTable(jc.table.clone()))?;
-            return self.db.execute_join_pinned(lt, rt, query, jc);
+            return self.db.execute_join_pinned(lt, rt, query, jc, opts);
         }
         let t = self.table(&query.table).ok_or_else(|| DbError::NoSuchTable(query.table.clone()))?;
-        self.db.execute_pinned(t, query, true)
+        self.db.execute_pinned(t, query, true, opts)
     }
 }
 
@@ -2177,13 +2272,14 @@ impl DbTransaction<'_> {
     /// violate the schema surface here.
     pub fn execute(&self, query: &Query) -> DbResult<QueryResult> {
         let lt = self.overlay(&query.table)?;
+        let opts = ExecOpts::default();
         if let Some(jc) = &query.join {
             let rt = self.overlay(&jc.table)?;
-            return self.snapshot.db.execute_join_pinned(&lt, &rt, query, jc);
+            return self.snapshot.db.execute_join_pinned(&lt, &rt, query, jc, &opts);
         }
         // Overlay rows are invisible to the live indexes — stay off the
         // index path so read-your-own-writes holds on every plan.
-        self.snapshot.db.execute_pinned(&lt, query, false)
+        self.snapshot.db.execute_pinned(&lt, query, false, &opts)
     }
 
     /// Commits the overlay: every buffered write replays through
@@ -2211,28 +2307,45 @@ impl DbTransaction<'_> {
     }
 }
 
+/// Smallest delta execution unit a query can ask for — below this the
+/// per-unit bookkeeping dominates the work.
+const DELTA_UNIT_MIN_ROWS: usize = 1024;
+
+/// Rows per delta execution unit for one query: the per-query morsel
+/// size, clamped to `[`[`DELTA_UNIT_MIN_ROWS`]`, SEGMENT_ROWS]` — a
+/// governor grant can shrink units under contention for fairer
+/// interleaving, but a compressed main segment stays the widest unit
+/// (it is atomic: the storage-defined dispatch floor).
+fn delta_unit_rows(opts: &ExecOpts) -> usize {
+    opts.morsel_rows.clamp(DELTA_UNIT_MIN_ROWS, crate::segment::SEGMENT_ROWS)
+}
+
 /// Delta rows `[start, end)` of delta chunk `c` — the
-/// [`crate::segment::SEGMENT_ROWS`]-sized execution units an oversized
+/// [`delta_unit_rows`]-sized execution units an oversized
 /// (merge-disabled) delta is split into (see `Database::eval_units`).
-fn delta_chunk(t: &TableSnapshot, c: usize) -> (usize, usize) {
-    let start = c * crate::segment::SEGMENT_ROWS;
-    (start, (start + crate::segment::SEGMENT_ROWS).min(t.delta_rows()))
+fn delta_chunk(t: &TableSnapshot, c: usize, unit_rows: usize) -> (usize, usize) {
+    let start = c * unit_rows;
+    (start, (start + unit_rows).min(t.delta_rows()))
 }
 
 /// Splits an ascending global-position list into per-unit slices — one
 /// per main segment, then one per delta chunk — so aggregation pushdown
 /// and join-key extraction hand each execution unit exactly its hits.
-fn split_unit_hits<'p>(t: &TableSnapshot, positions: Option<&'p [u32]>) -> Option<Vec<&'p [u32]>> {
+fn split_unit_hits<'p>(
+    t: &TableSnapshot,
+    positions: Option<&'p [u32]>,
+    unit_rows: usize,
+) -> Option<Vec<&'p [u32]>> {
     positions.map(|pos| {
         let nsegs = t.segments().len();
-        let units = nsegs + t.delta_rows().div_ceil(crate::segment::SEGMENT_ROWS);
+        let units = nsegs + t.delta_rows().div_ceil(unit_rows);
         let mut out = Vec::with_capacity(units);
         let mut i = 0;
         for u in 0..units {
             let end_row = if u < nsegs {
                 t.segment_base(u) + t.segments()[u].rows()
             } else {
-                t.main_rows() + delta_chunk(t, u - nsegs).1
+                t.main_rows() + delta_chunk(t, u - nsegs, unit_rows).1
             };
             let from = i;
             while i < pos.len() && (pos[i] as usize) < end_row {

@@ -68,6 +68,7 @@ pub mod prelude {
     pub use crate::table::{Table, TableSnapshot};
     pub use haec_columnar::value::{CmpOp, DataType, Value};
     pub use haec_exec::agg::AggKind;
+    pub use haec_exec::pool::{ExecOpts, MorselGate, WorkerPool};
     pub use haec_planner::optimizer::Goal;
     pub use haec_txn::oracle::{Timestamp, TimestampOracle};
 }

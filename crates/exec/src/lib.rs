@@ -15,7 +15,10 @@
 //!   aggregation under mutex / atomic / optimistic (TSX-analogue) /
 //!   partitioned strategies (experiment E4).
 //! * **Morsel-driven parallelism** — [`morsel`] load-balances row ranges
-//!   over real threads.
+//!   over real threads; [`pool`] hosts them on one persistent shared
+//!   [`pool::WorkerPool`] whose per-query parallelism grant and
+//!   fleet-wide in-flight budget ([`pool::MorselGate`]) are the knobs
+//!   the energy governor turns.
 //! * **Joins** — [`join`] provides hash and sort-merge equi-joins.
 //! * **Metering** — every operator reports [`metrics::OpStats`] with a
 //!   [`haec_energy::ResourceProfile`] so the energy layer can charge
@@ -47,6 +50,7 @@ pub mod join;
 pub mod metrics;
 pub mod morsel;
 pub mod pipeline;
+pub mod pool;
 pub mod select;
 
 /// Convenient glob-import of the crate's main types.
@@ -59,10 +63,12 @@ pub mod prelude {
     pub use crate::metrics::OpStats;
     pub use crate::morsel::{parallel_morsels, Morsel, MorselDispenser};
     pub use crate::pipeline::{AggregateOp, ExecError, FilterOp, Operator, Pipeline, ProjectOp};
+    pub use crate::pool::{ExecOpts, MorselGate, MorselPermit, RunSpec, WorkerPool};
     pub use crate::select::{select_metered, select_positions, AdaptiveSelect, SelectKernel};
 }
 
 pub use agg::{AggKind, AggState, SyncStrategy};
 pub use metrics::OpStats;
 pub use pipeline::{ExecError, Pipeline};
+pub use pool::{ExecOpts, MorselGate, RunSpec, WorkerPool};
 pub use select::{AdaptiveSelect, SelectKernel};

@@ -5,7 +5,10 @@
 //! grab the next morsel from a shared atomic cursor, which load-balances
 //! skewed per-row costs automatically — the end-to-end parallelism the
 //! paper demands "from the query language level down to the execution
-//! runtime".
+//! runtime". Execution happens on the persistent shared
+//! [`crate::pool::WorkerPool`]; [`parallel_morsels`] is the
+//! fire-and-forget compatibility front over it (no per-call thread
+//! creation).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -67,9 +70,12 @@ impl MorselDispenser {
     }
 }
 
-/// Runs `work` over all morsels of a `total`-row domain on `threads`
-/// real threads; per-thread results are combined with `merge` in
-/// unspecified order (so `merge` must be commutative + associative).
+/// Runs `work` over all morsels of a `total`-row domain with up to
+/// `threads` units of parallelism (the calling thread plus workers from
+/// the process-wide [`crate::pool::WorkerPool`] — no threads are
+/// created per call); per-unit results are combined with `merge` in
+/// unspecified order (so `merge` must be commutative + associative,
+/// with `zero` as identity).
 ///
 /// # Panics
 ///
@@ -89,29 +95,13 @@ where
     T: Clone,
 {
     assert!(threads > 0, "need at least one thread");
-    let dispenser = MorselDispenser::with_morsel_rows(total, morsel_rows.max(1));
-    let work = &work;
-    let merge = &merge;
-    let results: Vec<T> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let zero = zero.clone();
-                scope.spawn({
-                    let dispenser = &dispenser;
-                    move |_| {
-                        let mut acc = zero;
-                        while let Some(m) = dispenser.next_morsel() {
-                            acc = merge(acc, work(m));
-                        }
-                        acc
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("morsel worker panicked")).collect()
-    })
-    .expect("scope failed");
-    results.into_iter().fold(zero, merge)
+    crate::pool::WorkerPool::global().run(
+        total,
+        crate::pool::RunSpec::new(threads, morsel_rows),
+        work,
+        merge,
+        zero,
+    )
 }
 
 #[cfg(test)]

@@ -13,6 +13,10 @@
 //! * [`server`] — a deterministic single-node query-server simulation
 //!   that integrates power over virtual time under a chosen governor
 //!   (experiments E2 and E11).
+//! * [`qserver`] — the **real** concurrent query server: admission
+//!   control, per-query MVCC snapshots and governor-granted morsel
+//!   parallelism over one shared `haecdb` database and worker pool
+//!   (experiment E22).
 //! * [`elastic`] — "elasticity in the large": diurnal load on a cluster,
 //!   static vs elastic provisioning, energy proportionality
 //!   (experiment E12).
@@ -36,15 +40,18 @@
 
 pub mod elastic;
 pub mod governor;
+pub mod qserver;
 pub mod server;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::elastic::{diurnal_trace, run_cluster_sim, ClusterSimResult, Provisioning};
     pub use crate::governor::{decide, GovernorDecision, GovernorInput, GovernorPolicy};
+    pub use crate::qserver::{QueryServer, QueryServerConfig, ServedQuery, ServerError, ServerStats};
     pub use crate::server::{run_server_sim, ServerSimConfig, ServerSimResult};
 }
 
 pub use elastic::{run_cluster_sim, Provisioning};
 pub use governor::GovernorPolicy;
+pub use qserver::{QueryServer, QueryServerConfig};
 pub use server::{run_server_sim, ServerSimConfig, ServerSimResult};

@@ -1,0 +1,492 @@
+//! The concurrent query server: hundreds of client queries over one
+//! shared [`Database`], scheduled by a real [`GovernorPolicy`].
+//!
+//! This is the front door the paper's Fig. 2 asks for — "flexibly
+//! balance query response time minimization and throughput maximization
+//! under a given energy constraint" — driving the **real engine**, not
+//! the [`crate::server`] simulation. Per admitted query the server:
+//!
+//! 1. applies **admission control**: at most `max_concurrent` queries
+//!    in flight, the rest rejected with [`ServerError::Overloaded`]
+//!    (bounded queues beat unbounded latency collapse);
+//! 2. asks the governor for a decision over the machine's real P-state
+//!    table, translated into a per-query **morsel-parallelism grant**
+//!    (see `QueryServer::grant` for the mapping);
+//! 3. pins an MVCC snapshot ([`Database::begin_snapshot`]) so the query
+//!    reads one consistent cut while writers keep inserting/merging;
+//! 4. executes on the shared worker pool via
+//!    [`haecdb::DbSnapshot::execute_opts`] — no query ever creates a thread.
+//!
+//! The engine has no DVFS to actuate, so the governor's `(pstate,
+//! core_cap)` decision maps onto the two knobs the pool does have:
+//! the **degree of parallelism** (units of the pool a query may occupy)
+//! and, for [`GovernorPolicy::EnergyCap`], a fleet-wide in-flight
+//! morsel budget enforced by a shared [`MorselGate`]. The budget is
+//! derived from measured per-query `CostEstimate`s: an EWMA of each
+//! completed query's modeled power (its own energy over its own modeled
+//! time — never a shared-meter delta, which concurrent queries would
+//! pollute) gives watts-per-morsel-stream, and the cap divided by that
+//! is how many streams fit under the budget.
+
+use haec_energy::pstate::PStateId;
+use haec_energy::units::Joules;
+use haecdb::db::QueryResult;
+use haecdb::error::DbError;
+use haecdb::prelude::{Database, ExecOpts, MorselGate, Query};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::governor::{decide, GovernorInput, GovernorPolicy};
+
+/// Configuration of a [`QueryServer`].
+#[derive(Clone, Debug)]
+pub struct QueryServerConfig {
+    /// The scheduling policy queries are granted parallelism under.
+    pub governor: GovernorPolicy,
+    /// Admission bound: queries in flight beyond this are rejected.
+    pub max_concurrent: usize,
+    /// Base morsel size granted when the server is uncontended; grants
+    /// shrink it as concurrency rises so queries interleave fairly.
+    pub morsel_rows: usize,
+}
+
+impl Default for QueryServerConfig {
+    fn default() -> Self {
+        QueryServerConfig {
+            governor: GovernorPolicy::RaceToIdle,
+            max_concurrent: 256,
+            morsel_rows: haec_exec::morsel::DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+/// Why the server refused or failed a query.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Admission control rejected the query: the server already has
+    /// `limit` queries in flight.
+    Overloaded {
+        /// Queries in flight at rejection.
+        active: usize,
+        /// The configured admission bound.
+        limit: usize,
+    },
+    /// The engine failed the query.
+    Db(DbError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { active, limit } => {
+                write!(f, "server overloaded: {active} queries in flight (limit {limit})")
+            }
+            ServerError::Db(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A completed query plus the grant it ran under.
+#[derive(Debug)]
+pub struct ServedQuery {
+    /// The engine's result (rows, energy, modeled time, profile).
+    pub result: QueryResult,
+    /// Parallelism the governor granted this query.
+    pub dop: usize,
+    /// Morsel size the query ran with.
+    pub morsel_rows: usize,
+    /// End-to-end latency inside the server (admission to result).
+    pub latency: Duration,
+}
+
+/// A point-in-time summary of the server's lifetime counters.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Queries completed successfully.
+    pub completed: usize,
+    /// Queries refused by admission control.
+    pub rejected: usize,
+    /// Total energy across completed queries (sum of their own
+    /// `CostEstimate`s).
+    pub energy: Joules,
+    /// Median latency.
+    pub p50: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Most morsels ever concurrently in flight through the gate.
+    pub gate_high_water: usize,
+    /// Largest in-flight budget the governor ever set on the gate (the
+    /// structural bound `gate_high_water` must respect).
+    pub budget_high: usize,
+}
+
+/// EWMA observations feeding governor inputs and the energy-cap budget.
+struct Ewma {
+    /// Modeled watts of one running query (energy / modeled time).
+    watts: f64,
+    /// CPU cycles of one query (the `head_work_cycles` estimate).
+    cycles: f64,
+}
+
+const EWMA_ALPHA: f64 = 0.2;
+
+impl Ewma {
+    fn update(&mut self, watts: f64, cycles: f64) {
+        let mix =
+            |old: f64, new: f64| if old == 0.0 { new } else { old * (1.0 - EWMA_ALPHA) + new * EWMA_ALPHA };
+        self.watts = mix(self.watts, watts);
+        self.cycles = mix(self.cycles, cycles);
+    }
+}
+
+/// The concurrent query server (see the module docs).
+pub struct QueryServer {
+    db: Arc<Database>,
+    cfg: QueryServerConfig,
+    /// Fleet-wide in-flight morsel gate, attached to every granted
+    /// query under [`GovernorPolicy::EnergyCap`].
+    gate: Arc<MorselGate>,
+    active: AtomicUsize,
+    rejected: AtomicUsize,
+    /// Largest budget ever set on the gate.
+    budget_high: AtomicUsize,
+    /// P-state currently "in effect" (what `OnDemand` steps from).
+    current_pstate: Mutex<PStateId>,
+    ewma: Mutex<Ewma>,
+    /// Latency and energy of every completed query.
+    done: Mutex<Vec<(Duration, Joules)>>,
+}
+
+impl QueryServer {
+    /// Creates a server over a shared database. Queries execute on the
+    /// database's own worker pool ([`Database::pool`]); the server adds
+    /// scheduling, not threads.
+    pub fn new(db: Arc<Database>, cfg: QueryServerConfig) -> QueryServer {
+        let workers = db.pool().workers();
+        let initial_budget = match cfg.governor {
+            // Until a query completes there is no power observation;
+            // start from the governor's own core cap under the budget.
+            GovernorPolicy::EnergyCap(_) => {
+                let d = decide(
+                    cfg.governor,
+                    db.machine().pstates(),
+                    GovernorInput {
+                        queued: 0,
+                        busy_cores: 0,
+                        total_cores: workers,
+                        head_work_cycles: 0,
+                        current: db.machine().pstates().fastest(),
+                    },
+                );
+                d.core_cap.max(1)
+            }
+            _ => workers.max(1),
+        };
+        let current = db.machine().pstates().fastest();
+        QueryServer {
+            gate: MorselGate::new(initial_budget),
+            budget_high: AtomicUsize::new(initial_budget),
+            db,
+            cfg,
+            active: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            current_pstate: Mutex::new(current),
+            ewma: Mutex::new(Ewma { watts: 0.0, cycles: 0.0 }),
+            done: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &QueryServerConfig {
+        &self.cfg
+    }
+
+    /// The fleet-wide morsel gate (for structural assertions: its
+    /// high-water mark never exceeds [`ServerStats::budget_high`]).
+    pub fn gate(&self) -> &Arc<MorselGate> {
+        &self.gate
+    }
+
+    /// Queries in flight right now.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Maps the governor's decision onto the engine's knobs for one
+    /// query, given `active` queries in flight (including this one).
+    ///
+    /// The real machine has no DVFS, so the `(pstate, core_cap)`
+    /// decision becomes a *cycle-throughput budget*: `core_cap`
+    /// full-speed-equivalent cores scaled by the chosen frequency,
+    /// divided evenly among active queries — race-to-idle grants the
+    /// whole pool, pace-to-deadline proportionally less the slower its
+    /// chosen P-state, energy-cap whatever core count fit the budget.
+    /// Morsels shrink as concurrency rises so grants interleave
+    /// fairly, and under `EnergyCap` the shared gate re-targets to the
+    /// measured-power budget and rides along in the options.
+    fn grant(&self, active: usize) -> ExecOpts {
+        let table = self.db.machine().pstates();
+        let workers = self.db.pool().workers();
+        let ewma = {
+            let e = self.ewma.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            Ewma { watts: e.watts, cycles: e.cycles }
+        };
+        let input = GovernorInput {
+            queued: self.db.pool().queued_tasks(),
+            busy_cores: self.gate.inflight().min(workers),
+            total_cores: workers,
+            head_work_cycles: ewma.cycles as u64,
+            current: *self.current_pstate.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        };
+        let d = decide(self.cfg.governor, table, input);
+        *self.current_pstate.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = d.pstate;
+
+        let freq_ratio =
+            table.state(d.pstate).frequency().hertz() / table.state(table.fastest()).frequency().hertz();
+        let throughput_cores = (d.core_cap as f64 * freq_ratio).max(1.0);
+        let dop = ((throughput_cores / active.max(1) as f64).round() as usize).clamp(1, workers);
+        // Shrink morsels as concurrency rises: finer units interleave
+        // concurrent queries more fairly on the shared pool.
+        let morsel_rows = (self.cfg.morsel_rows / active.max(1)).max(1);
+
+        let gate = match self.cfg.governor {
+            GovernorPolicy::EnergyCap(cap) => {
+                if ewma.watts > 0.0 {
+                    // Measured power per morsel stream → how many
+                    // streams fit under the cap, fleet-wide.
+                    let budget = ((cap.watts() / ewma.watts).floor() as usize).clamp(1, workers);
+                    self.budget_high.fetch_max(budget, Ordering::Relaxed);
+                    self.gate.set_budget(budget);
+                }
+                Some(Arc::clone(&self.gate))
+            }
+            _ => None,
+        };
+        ExecOpts { dop, morsel_rows, gate }
+    }
+
+    /// Admits, grants, pins and executes one query.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Overloaded`] when admission control rejects it;
+    /// [`ServerError::Db`] when the engine fails it.
+    pub fn execute(&self, query: &Query) -> Result<ServedQuery, ServerError> {
+        let limit = self.cfg.max_concurrent;
+        let admitted =
+            self.active.fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| (n < limit).then_some(n + 1));
+        let active = match admitted {
+            Ok(prev) => prev + 1,
+            Err(n) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServerError::Overloaded { active: n, limit });
+            }
+        };
+        // Release the admission slot however the query exits.
+        struct Slot<'a>(&'a AtomicUsize);
+        impl Drop for Slot<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let _slot = Slot(&self.active);
+
+        let started = Instant::now();
+        let opts = self.grant(active);
+        let snap = self.db.begin_snapshot();
+        let result = snap.execute_opts(query, &opts).map_err(ServerError::Db)?;
+        let latency = started.elapsed();
+
+        let modeled_secs = result.modeled_time.as_secs_f64();
+        if modeled_secs > 0.0 {
+            self.ewma
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .update(result.energy.joules() / modeled_secs, result.profile.cpu_cycles.count() as f64);
+        }
+        self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((latency, result.energy));
+        Ok(ServedQuery { result, dop: opts.dop, morsel_rows: opts.morsel_rows, latency })
+    }
+
+    /// A snapshot of the server's lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        let done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut lat: Vec<Duration> = done.iter().map(|&(l, _)| l).collect();
+        lat.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if lat.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+            lat[idx.min(lat.len() - 1)]
+        };
+        ServerStats {
+            completed: done.len(),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            energy: done.iter().fold(Joules::new(0.0), |a, &(_, e)| a + e),
+            p50: pct(0.50),
+            p99: pct(0.99),
+            gate_high_water: self.gate.high_water(),
+            budget_high: self.budget_high.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for QueryServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryServer")
+            .field("governor", &self.cfg.governor)
+            .field("max_concurrent", &self.cfg.max_concurrent)
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_energy::units::Watts;
+    use haecdb::prelude::*;
+
+    fn db_with_rows(rows: i64) -> Arc<Database> {
+        let db = Database::new();
+        db.create_table("t", &[("id", DataType::Int64), ("v", DataType::Int64)]).unwrap();
+        db.set_merge_threshold("t", usize::MAX).unwrap();
+        for i in 0..rows {
+            db.insert("t", &Record::new().with("id", i).with("v", i % 100)).unwrap();
+        }
+        db.merge("t").unwrap();
+        Arc::new(db)
+    }
+
+    fn sum_query() -> Query {
+        Query::scan("t").aggregate(AggKind::Sum, "v")
+    }
+
+    fn expected_sum(rows: i64) -> f64 {
+        (0..rows).map(|i| (i % 100) as f64).sum()
+    }
+
+    #[test]
+    fn serves_correct_answers_under_every_policy() {
+        let rows = 150_000;
+        let db = db_with_rows(rows);
+        for governor in [
+            GovernorPolicy::RaceToIdle,
+            GovernorPolicy::PaceToDeadline(Duration::from_millis(100)),
+            GovernorPolicy::OnDemand,
+            GovernorPolicy::EnergyCap(Watts::new(40.0)),
+        ] {
+            let srv = QueryServer::new(Arc::clone(&db), QueryServerConfig { governor, ..Default::default() });
+            for _ in 0..3 {
+                let out = srv.execute(&sum_query()).unwrap();
+                assert_eq!(out.result.rows.row(0).unwrap()[0].as_float(), Some(expected_sum(rows)));
+                assert!(out.dop >= 1);
+                assert!(out.result.energy.joules() > 0.0);
+            }
+            let stats = srv.stats();
+            assert_eq!(stats.completed, 3, "{governor}");
+            assert!(stats.energy.joules() > 0.0);
+            assert!(stats.p99 >= stats.p50);
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_beyond_limit() {
+        let db = db_with_rows(10_000);
+        let srv = QueryServer::new(db, QueryServerConfig { max_concurrent: 0, ..Default::default() });
+        let err = srv.execute(&sum_query()).unwrap_err();
+        assert!(matches!(err, ServerError::Overloaded { limit: 0, .. }), "{err}");
+        assert_eq!(srv.stats().rejected, 1);
+        assert_eq!(srv.stats().completed, 0);
+    }
+
+    #[test]
+    fn energy_cap_gate_never_exceeds_budget_high() {
+        let rows = 200_000;
+        let db = db_with_rows(rows);
+        let srv = QueryServer::new(
+            db,
+            QueryServerConfig { governor: GovernorPolicy::EnergyCap(Watts::new(30.0)), ..Default::default() },
+        );
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..4 {
+                        let out = srv.execute(&sum_query()).unwrap();
+                        assert_eq!(out.result.rows.row(0).unwrap()[0].as_float(), Some(expected_sum(rows)));
+                    }
+                });
+            }
+        });
+        let stats = srv.stats();
+        assert_eq!(stats.completed, 16);
+        assert!(stats.gate_high_water >= 1, "capped queries must flow through the gate");
+        assert!(
+            stats.gate_high_water <= stats.budget_high,
+            "gate admitted {} concurrent morsels, budget never exceeded {}",
+            stats.gate_high_water,
+            stats.budget_high
+        );
+    }
+
+    #[test]
+    fn pace_grants_no_more_than_race() {
+        let db = db_with_rows(150_000);
+        let race = QueryServer::new(
+            Arc::clone(&db),
+            QueryServerConfig { governor: GovernorPolicy::RaceToIdle, ..Default::default() },
+        );
+        // A lenient deadline lets pace pick a slow P-state, which must
+        // translate into a smaller (or equal) parallelism grant.
+        let pace = QueryServer::new(
+            db,
+            QueryServerConfig {
+                governor: GovernorPolicy::PaceToDeadline(Duration::from_secs(10)),
+                ..Default::default()
+            },
+        );
+        let rd = race.execute(&sum_query()).unwrap();
+        // Seed pace's work EWMA so the deadline math sees real cycles.
+        let pd0 = pace.execute(&sum_query()).unwrap();
+        let pd = pace.execute(&sum_query()).unwrap();
+        assert!(pd.dop <= rd.dop, "pace granted {} > race {}", pd.dop, rd.dop);
+        let _ = pd0;
+    }
+
+    #[test]
+    fn snapshot_isolation_under_concurrent_writes() {
+        // A query admitted mid-insert still answers for a consistent
+        // prefix: sum(v) of the first n rows for some n, never a torn
+        // read.
+        let db = db_with_rows(50_000);
+        let srv = QueryServer::new(Arc::clone(&db), QueryServerConfig::default());
+        std::thread::scope(|s| {
+            let writer = s.spawn(|| {
+                for i in 50_000..58_000i64 {
+                    db.insert("t", &Record::new().with("id", i).with("v", i % 100)).unwrap();
+                }
+            });
+            for _ in 0..8 {
+                let out = srv.execute(&sum_query()).unwrap();
+                let got = out.result.rows.row(0).unwrap()[0].as_float().unwrap();
+                // sum over a prefix of length n has closed form; find n.
+                let mut acc = 0.0;
+                let mut matched = false;
+                for i in 0..=58_000i64 {
+                    if acc == got {
+                        matched = true;
+                        break;
+                    }
+                    acc += (i % 100) as f64;
+                }
+                assert!(matched, "sum {got} is not any insertion-order prefix");
+            }
+            writer.join().unwrap();
+        });
+    }
+}
