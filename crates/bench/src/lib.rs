@@ -15,6 +15,7 @@
 //! Criterion microbenchmarks over the hot kernels back the measured
 //! columns: `cargo bench -p haec-bench`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exps;

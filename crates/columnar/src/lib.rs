@@ -30,6 +30,7 @@
 //! assert_eq!(hits.count_ones(), 100);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

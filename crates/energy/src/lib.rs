@@ -35,6 +35,7 @@
 //! assert!(fast.breakdown.cpu > slow.breakdown.cpu);     // …but burns more core energy
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

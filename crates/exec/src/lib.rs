@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod agg;
 pub mod join;
@@ -52,6 +53,7 @@ pub mod morsel;
 pub mod pipeline;
 pub mod pool;
 pub mod select;
+pub(crate) mod sync;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {

@@ -10,7 +10,7 @@
 //! fire-and-forget compatibility front over it (no per-call thread
 //! creation).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default morsel size in rows (≈ several L1 caches of i64).
 pub const DEFAULT_MORSEL_ROWS: usize = 16 * 1024;

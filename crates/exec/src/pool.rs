@@ -41,13 +41,14 @@
 //! scoped jobs on a persistent pool.
 
 use crate::morsel::{Morsel, MorselDispenser, DEFAULT_MORSEL_ROWS};
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
-use std::thread::JoinHandle;
+use std::sync::OnceLock;
 
 /// Locks a mutex, recovering the guard if a panicking thread poisoned
 /// it (the pool must stay serviceable after a job panics).
@@ -255,6 +256,10 @@ struct PoolShared {
 /// (see the module-level safety model).
 struct Task {
     job: *const (),
+    // SAFETY: callers of this fn pointer must pass a `job` pointing to
+    // the live `JobShared` instantiation it was monomorphized for —
+    // upheld because both fields are only ever set together (in `run`)
+    // and only invoked after winning `JobToken::try_start`.
     run: unsafe fn(*const ()),
     token: Arc<JobToken>,
 }
@@ -385,6 +390,10 @@ where
     W: Fn(Morsel) -> T + Sync,
     M: Fn(T, T) -> T + Send + Sync,
 {
+    // SAFETY: per this fn's contract `p` is a live `JobShared<T, W, M>`;
+    // the shared reference lives only for this call, during which the
+    // submitter is parked in `cancel_and_wait` (or still draining) and
+    // cannot move or free the pointee.
     let job = unsafe { &*(p as *const JobShared<'_, T, W, M>) };
     job.run_unit();
 }
@@ -409,7 +418,7 @@ impl WorkerPool {
             .map(|i| {
                 spawned.fetch_add(1, Ordering::Relaxed);
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("haec-worker-{i}"))
                     .spawn(move || worker_main(&shared))
                     .expect("spawn pool worker")
@@ -485,6 +494,10 @@ impl WorkerPool {
         // run; don't queue tasks that could only ever no-op.
         let helpers = (spec.dop - 1).min(self.workers);
         if helpers > 0 {
+            // SAFETY: the cast only erases the generic instantiation;
+            // every task queued below pairs this fn with a pointer to
+            // `job`, which is exactly the `JobShared<T, W, M>` the
+            // trampoline's contract requires.
             let run = run_trampoline::<T, W, M> as unsafe fn(*const ());
             let jobp = (&raw const job).cast::<()>();
             let mut q = lock(&self.shared.queue);

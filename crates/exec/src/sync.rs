@@ -1,0 +1,19 @@
+//! cfg-switchable concurrency primitives.
+//!
+//! By default these are the plain `std` types. Building with
+//! `RUSTFLAGS="--cfg haec_loom"` swaps them for the `loom` shim's
+//! model-checked doubles, so the `loom_*` integration tests can drive
+//! the pool/gate/token protocols through `loom::model` while production
+//! builds keep zero overhead. Protocol code in this crate must import
+//! locks, atomics, and thread spawning from here — `haec-lint` enforces
+//! that no `std::thread::spawn` appears outside this switch.
+
+#[cfg(haec_loom)]
+pub(crate) use loom::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+#[cfg(haec_loom)]
+pub(crate) use loom::thread;
+
+#[cfg(not(haec_loom))]
+pub(crate) use std::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+#[cfg(not(haec_loom))]
+pub(crate) use std::thread;

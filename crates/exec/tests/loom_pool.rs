@@ -1,0 +1,139 @@
+//! Model-checked verification of the worker-pool protocols: the
+//! `JobToken` start/finish/cancel handshake with caller-runs, and the
+//! `MorselGate` acquire/release/retarget semaphore.
+//!
+//! Only built under `RUSTFLAGS="--cfg haec_loom"`, which switches
+//! `exec`'s primitives (see `crates/exec/src/sync.rs`) onto the `loom`
+//! shim so `loom::model` can enumerate thread interleavings. Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg haec_loom" cargo test -p haec-exec --test loom_pool --release
+//! ```
+#![cfg(haec_loom)]
+
+use haec_exec::pool::{MorselGate, RunSpec, WorkerPool};
+use haec_exec::prelude::Morsel;
+use loom::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The full token protocol on a live pool: submit, worker + caller race
+/// to drain, cancel/settle, fold. Every interleaving must produce the
+/// exact sum and tear the pool down cleanly (a lost shutdown wakeup or
+/// a stuck join would surface as a model deadlock).
+#[test]
+fn token_protocol_sums_under_all_interleavings() {
+    let report = loom::model(|| {
+        let pool = WorkerPool::new(1);
+        let data = [1i64, 2];
+        let sum = pool.run(
+            data.len(),
+            RunSpec::new(2, 1),
+            |m: Morsel| data[m.start..m.end].iter().sum::<i64>(),
+            |a, b| a + b,
+            0i64,
+        );
+        assert_eq!(sum, 3);
+        assert_eq!(pool.threads_spawned(), 1, "queries must not create threads");
+    });
+    assert!(report.interleavings > 1, "expected >1 distinct interleaving, got {report:?}");
+}
+
+/// Caller-runs liveness: with more units granted than workers exist the
+/// job must still complete in every schedule — the caller's inline
+/// drain guarantees progress even when the pool never helps.
+#[test]
+fn caller_runs_completes_on_saturated_pool() {
+    let report = loom::model(|| {
+        let pool = WorkerPool::new(1);
+        let data = [1i64, 2, 3];
+        let sum = pool.run(
+            data.len(),
+            RunSpec::new(3, 1),
+            |m: Morsel| data[m.start..m.end].iter().sum::<i64>(),
+            |a, b| a + b,
+            0i64,
+        );
+        assert_eq!(sum, 6);
+    });
+    assert!(report.interleavings > 1, "expected >1 distinct interleaving, got {report:?}");
+}
+
+/// A panicking unit cancels the job (the payload resurfaces from
+/// `run`), and the pool survives to serve the next job — in every
+/// interleaving, including the ones where the worker picks up the task
+/// before, after, or never.
+#[test]
+fn unit_panic_cancels_job_and_pool_survives() {
+    let report = loom::model(|| {
+        let pool = WorkerPool::new(1);
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                2,
+                RunSpec::new(2, 1),
+                |m: Morsel| {
+                    assert!(m.start != 0, "seeded unit failure");
+                    1i64
+                },
+                |a, b| a + b,
+                0i64,
+            )
+        }));
+        assert!(failed.is_err(), "the unit panic must resurface");
+        let ok = pool.run(1, RunSpec::new(2, 1), |_m: Morsel| 1i64, |a, b| a + b, 0i64);
+        assert_eq!(ok, 1, "pool must stay serviceable after a job panic");
+    });
+    assert!(report.interleavings > 1, "expected >1 distinct interleaving, got {report:?}");
+}
+
+/// The gate's budget is a hard bound: two units racing one permit can
+/// never both be in flight, in any schedule.
+#[test]
+fn gate_budget_is_never_exceeded() {
+    let report = loom::model(|| {
+        let gate = MorselGate::new(1);
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                loom::thread::spawn(move || {
+                    let _permit = gate.acquire();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(gate.high_water(), 1, "budget 1 must never admit 2");
+        assert_eq!(gate.inflight(), 0, "all permits must be returned");
+    });
+    assert!(report.interleavings > 1, "expected >1 distinct interleaving, got {report:?}");
+}
+
+/// Retargeting the budget mid-race: raising it must wake blocked units
+/// (a lost wakeup would deadlock the model), the new bound must hold,
+/// and everything drains.
+#[test]
+fn gate_retarget_wakes_blocked_and_bounds_hold() {
+    let report = loom::model(|| {
+        let gate = MorselGate::new(1);
+        let units: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                loom::thread::spawn(move || {
+                    let _permit = gate.acquire();
+                })
+            })
+            .collect();
+        let retarget = {
+            let gate = Arc::clone(&gate);
+            loom::thread::spawn(move || gate.set_budget(2))
+        };
+        for h in units {
+            h.join().unwrap();
+        }
+        retarget.join().unwrap();
+        assert!(gate.high_water() <= 2, "in-flight exceeded every budget it ran under");
+        assert_eq!(gate.budget(), 2);
+        assert_eq!(gate.inflight(), 0);
+    });
+    assert!(report.interleavings > 1, "expected >1 distinct interleaving, got {report:?}");
+}

@@ -1,0 +1,522 @@
+//! # haec-lint
+//!
+//! Source-level static analysis enforcing `haecdb` workspace invariants
+//! that the compiler cannot see — run as `cargo run -p haec-lint` (CI's
+//! `verify` job does, on every push). Each rule is a machine-checked
+//! statement of a discipline the repo's correctness or energy-honesty
+//! story depends on:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `safety-comment` | every `unsafe` token is annotated with a `// SAFETY:` (or `/// # Safety`) comment |
+//! | `unsafe-in-shims` | the vendored `shims/` expose no `unsafe` at all |
+//! | `no-thread-spawn` | no `thread::spawn`/`Builder`/`scope` outside the pool, the loom shim, and test harnesses |
+//! | `no-available-parallelism` | hardware sizing happens once at engine construction, never per query |
+//! | `meter-delta-billing` | query paths never bill per-query energy by subtracting meter totals (use `CostEstimate`) |
+//! | `instant-in-energy` | energy accounting is work-based, not wall-clock (`Instant::now`) based |
+//!
+//! The scanner lexes each file just enough to **mask comments and
+//! string literals** (so prose can mention forbidden tokens freely) and
+//! to locate `#[cfg(test)]` regions (test code may spawn threads, read
+//! meters, etc.). Findings carry `file:line` positions.
+//!
+//! Two escape hatches, both reviewable:
+//! * the central [`ALLOWS`] table — a path-scoped exemption **with a
+//!   written reason**, for sites that are legitimately special;
+//! * an inline `// haec-lint: allow(<rule>)` comment on the offending
+//!   line or the line above, for one-off cases.
+//!
+//! To add a rule: push a [`Rule`] into [`rules`], give it a kebab-case
+//! id, scope it with `applies`, and seed `crates/lint/tests/selftest.rs`
+//! with a fixture proving it fires.
+
+#![forbid(unsafe_code)]
+use std::path::{Path, PathBuf};
+
+/// One diagnostic: a rule violated at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Kebab-case rule id.
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Masking lexer
+// ---------------------------------------------------------------------
+
+/// Replaces the contents of comments and string/char literals with
+/// spaces, preserving every newline and column position, so token
+/// searches over the result only ever hit real code.
+pub fn mask_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < b.len() {
+        let c = b[i];
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == 'r' || c == 'b' {
+            // Possible raw/byte string: r"...", r#"..."#, b"...", br#"..."#.
+            let mut j = i + 1;
+            if c == 'b' && j < b.len() && b[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == '"' && (hashes > 0 || b[i + 1] == '"' || (c == 'b' && b[i + 1] == 'r'))
+            {
+                // Emit the prefix, then mask until the closing quote
+                // followed by `hashes` hashes.
+                out.extend(std::iter::repeat_n(' ', j - i + 1));
+                i = j + 1;
+                'raw: while i < b.len() {
+                    if b[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.extend(std::iter::repeat_n(' ', hashes + 1));
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Char literal vs lifetime: 'x' / '\n' are literals; 'a (no
+            // closing quote right after) is a lifetime and stays as-is.
+            if i + 2 < b.len() && b[i + 1] == '\\' {
+                out.push(' ');
+                i += 1;
+                while i < b.len() && b[i] != '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(' ');
+                    i += 1;
+                }
+            } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                out.push(' ');
+                out.push(' ');
+                out.push(' ');
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out.into_iter().collect()
+}
+
+// ---------------------------------------------------------------------
+// #[cfg(test)] region detection
+// ---------------------------------------------------------------------
+
+/// 1-based inclusive line ranges covered by `#[cfg(test)]` items
+/// (modules, functions, single statements), located by brace matching
+/// on the masked source.
+pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut regions = Vec::new();
+    let mut search = 0;
+    let text: String = masked.to_string();
+    while let Some(pos) = text[search..].find("#[cfg(test)]") {
+        let attr_at = search + pos;
+        let start_line = line_of(&chars, attr_at);
+        // Find where the item ends: first `{` (then brace-match) or a
+        // `;` before any `{` (attribute on a braceless item).
+        let mut i = attr_at + "#[cfg(test)]".len();
+        let mut end = None;
+        while i < chars.len() {
+            match chars[i] {
+                ';' => {
+                    end = Some(i);
+                    break;
+                }
+                '{' => {
+                    let mut depth = 1;
+                    i += 1;
+                    while i < chars.len() && depth > 0 {
+                        match chars[i] {
+                            '{' => depth += 1,
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    end = Some(i.saturating_sub(1));
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end_at = end.unwrap_or(chars.len().saturating_sub(1));
+        regions.push((start_line, line_of(&chars, end_at)));
+        search = attr_at + 1;
+    }
+    regions
+}
+
+fn line_of(chars: &[char], pos: usize) -> usize {
+    1 + chars[..pos.min(chars.len())].iter().filter(|&&c| c == '\n').count()
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/// A lint rule: an id, a path scope, and a per-line check over the
+/// masked source.
+pub struct Rule {
+    /// Kebab-case id, used in diagnostics, [`ALLOWS`], and inline
+    /// `haec-lint: allow(...)` escapes.
+    pub id: &'static str,
+    /// Whether the rule examines this file at all.
+    pub applies: fn(&str) -> bool,
+    /// Whether findings inside `#[cfg(test)]` regions / test-harness
+    /// paths are exempt.
+    pub exempt_in_tests: bool,
+    /// Scans one masked line (`raw` is the unmasked line, `above` the
+    /// unmasked lines before it, for comment inspection). Returns a
+    /// message for each violation.
+    pub check: fn(masked_line: &str, raw: &str, above: &[String]) -> Option<String>,
+}
+
+/// A path-scoped exemption with a written reason. Keep reasons honest:
+/// this table is the reviewable record of every place an invariant is
+/// deliberately relaxed.
+pub struct Allow {
+    /// Rule being relaxed.
+    pub rule: &'static str,
+    /// Path prefix (repo-relative, `/` separators) the exemption covers.
+    pub path_prefix: &'static str,
+    /// Why this site is legitimately special.
+    pub reason: &'static str,
+}
+
+/// The central allow-list. Every entry must say why.
+pub const ALLOWS: &[Allow] = &[
+    Allow {
+        rule: "no-thread-spawn",
+        path_prefix: "crates/bench/src/exps/",
+        reason: "experiment harnesses drive concurrency scenarios directly (E10/E21/E22)",
+    },
+    Allow {
+        rule: "no-available-parallelism",
+        path_prefix: "crates/bench/",
+        reason: "experiment harnesses size scenarios from the machine they measure",
+    },
+    Allow {
+        rule: "meter-delta-billing",
+        path_prefix: "crates/sched/src/server.rs",
+        reason: "horizon-level aggregate of the discrete-event simulator, not per-query billing",
+    },
+    Allow {
+        rule: "instant-in-energy",
+        path_prefix: "crates/energy/src/calibrate.rs",
+        reason: "the calibration harness is explicitly wall-clock based (it fits joules to seconds)",
+    },
+];
+
+fn contains_token(haystack: &str, needle: &str) -> bool {
+    // Word-boundary match: the char before/after must not be
+    // identifier-ish, so `unsafe_code` never matches `unsafe`.
+    let mut from = 0;
+    while let Some(p) = haystack[from..].find(needle) {
+        let at = from + p;
+        let before_ok =
+            at == 0 || !haystack[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= haystack.len()
+            || !haystack[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Is this raw line part of a contiguous comment/attribute block (the
+/// kind a `SAFETY:` annotation lives in)?
+fn is_annotation_line(raw: &str) -> bool {
+    let t = raw.trim_start();
+    t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")
+}
+
+fn has_safety_annotation(raw: &str, above: &[String]) -> bool {
+    if raw.contains("SAFETY") || raw.contains("# Safety") {
+        return true;
+    }
+    for prev in above.iter().rev() {
+        if !is_annotation_line(prev) {
+            return false;
+        }
+        if prev.contains("SAFETY") || prev.contains("# Safety") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The rule set. Order is presentation order only.
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "safety-comment",
+            applies: |_| true,
+            exempt_in_tests: false,
+            check: |masked, raw, above| {
+                if contains_token(masked, "unsafe") && !has_safety_annotation(raw, above) {
+                    Some("`unsafe` without a `// SAFETY:` comment explaining why it is sound".into())
+                } else {
+                    None
+                }
+            },
+        },
+        Rule {
+            id: "unsafe-in-shims",
+            applies: |p| p.starts_with("shims/"),
+            exempt_in_tests: false,
+            check: |masked, _, _| {
+                if contains_token(masked, "unsafe") {
+                    Some("vendored shims must not contain `unsafe` (they stand in for audited crates)".into())
+                } else {
+                    None
+                }
+            },
+        },
+        Rule {
+            id: "no-thread-spawn",
+            applies: |p| {
+                p != "crates/exec/src/pool.rs"
+                    && !p.starts_with("shims/loom/")
+                    && !p.starts_with("shims/crossbeam/")
+            },
+            exempt_in_tests: true,
+            check: |masked, _, _| {
+                for tok in ["thread::spawn", "thread::Builder", "thread::scope"] {
+                    if masked.contains(tok) {
+                        return Some(format!(
+                            "`{tok}` outside the worker pool: queries must run on the persistent \
+                             pool (`exec::pool`), never on ad-hoc threads"
+                        ));
+                    }
+                }
+                None
+            },
+        },
+        Rule {
+            id: "no-available-parallelism",
+            applies: |p| p != "crates/exec/src/pool.rs",
+            exempt_in_tests: true,
+            check: |masked, _, _| {
+                if masked.contains("available_parallelism") {
+                    Some(
+                        "hardware parallelism is sized once when the engine's global pool is \
+                         built, never re-queried per call site"
+                            .into(),
+                    )
+                } else {
+                    None
+                }
+            },
+        },
+        Rule {
+            id: "meter-delta-billing",
+            applies: |p| {
+                p.starts_with("crates/core/src/")
+                    || p.starts_with("crates/sched/src/")
+                    || p.starts_with("crates/exec/src/")
+                    || p.starts_with("crates/net/src/")
+            },
+            exempt_in_tests: true,
+            check: |masked, _, _| {
+                if masked.contains("grand_total") {
+                    Some(
+                        "per-query energy must be billed from `CostEstimate`, not by \
+                         subtracting shared-meter totals (racy under concurrency)"
+                            .into(),
+                    )
+                } else {
+                    None
+                }
+            },
+        },
+        Rule {
+            id: "instant-in-energy",
+            applies: |p| p.starts_with("crates/energy/src/"),
+            exempt_in_tests: true,
+            check: |masked, _, _| {
+                if masked.contains("Instant::now") {
+                    Some(
+                        "energy accounting is work-based (counters × unit costs); wall-clock \
+                         reads do not belong in the energy crate"
+                            .into(),
+                    )
+                } else {
+                    None
+                }
+            },
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------
+
+/// Is the path a test/bench/example harness (exempt from runtime-only
+/// rules)?
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.starts_with("examples/")
+        || path.contains("/examples/")
+}
+
+fn allowed(rule: &'static str, path: &str) -> bool {
+    ALLOWS.iter().any(|a| a.rule == rule && path.starts_with(a.path_prefix))
+}
+
+fn inline_escape(rule: &str, raw: &str, above: &[String]) -> bool {
+    let tag = format!("haec-lint: allow({rule})");
+    raw.contains(&tag) || above.last().is_some_and(|l| l.contains(&tag))
+}
+
+/// Scans one file's source. `path` must be repo-relative with `/`
+/// separators — rule scoping and the allow-list key off it.
+pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
+    let masked = mask_source(src);
+    let regions = test_regions(&masked);
+    let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let in_test_region = |line: usize| regions.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+    let test_path = is_test_path(path);
+
+    let mut findings = Vec::new();
+    for rule in rules() {
+        if !(rule.applies)(path) || allowed(rule.id, path) {
+            continue;
+        }
+        for (idx, masked_line) in masked_lines.iter().enumerate() {
+            let line = idx + 1;
+            if rule.exempt_in_tests && (test_path || in_test_region(line)) {
+                continue;
+            }
+            let raw = raw_lines.get(idx).map(String::as_str).unwrap_or("");
+            let above = &raw_lines[..idx];
+            if inline_escape(rule.id, raw, above) {
+                continue;
+            }
+            if let Some(message) = (rule.check)(masked_line, raw, above) {
+                findings.push(Finding { rule: rule.id, path: path.to_string(), line, message });
+            }
+        }
+    }
+    findings
+}
+
+/// Walks the workspace at `root` and scans every tracked `.rs` file
+/// (skipping `target/` and dot-directories). Returns all findings,
+/// sorted by path and line.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(scan_source(&rel_str, &src));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}

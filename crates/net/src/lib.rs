@@ -29,6 +29,7 @@
 //! assert!(!decide(payload, &codec, &fast, Objective::MinTime).compress);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -32,6 +32,7 @@
 //! assert_eq!(choose(&plans, Goal::MinTimeUnderEnergyBudget(Joules::new(20.0))).unwrap(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

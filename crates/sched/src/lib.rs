@@ -35,6 +35,7 @@
 //! assert!(result.energy.joules() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -40,6 +40,7 @@
 //! assert!(end > SimTime::ZERO);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -30,6 +30,7 @@
 //! # Ok::<(), haec_txn::mvcc::CommitError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -2,6 +2,12 @@
 //! logical timestamps shared by all transactions.
 
 use std::fmt;
+
+// Under `--cfg haec_loom` the counter becomes a model-checked atomic so
+// `tests/loom_oracle.rs` can verify monotonicity across interleavings.
+#[cfg(haec_loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(haec_loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Logical timestamp newtype.

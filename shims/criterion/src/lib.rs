@@ -7,6 +7,7 @@
 //! baselines). Runs are short by design so `cargo bench` stays usable
 //! in CI.
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver handed to each `criterion_group!` target.

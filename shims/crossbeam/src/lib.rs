@@ -5,6 +5,7 @@
 //! receives a placeholder `()` argument where crossbeam passes a nested
 //! `&Scope` — every caller in this workspace ignores it (`|_| ...`).
 
+#![forbid(unsafe_code)]
 /// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
 pub struct Scope<'scope, 'env: 'scope> {
     inner: &'scope std::thread::Scope<'scope, 'env>,

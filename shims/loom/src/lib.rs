@@ -1,0 +1,154 @@
+//! # loom (shim)
+//!
+//! A vendored, dependency-free, loom-style **deterministic concurrency
+//! model checker**. Like the other `shims/` crates this stands in for a
+//! crates.io dependency (the real [`loom`](https://crates.io/crates/loom))
+//! in an offline build, implementing the subset the `haecdb` workspace
+//! needs:
+//!
+//! * [`model`] runs a closure repeatedly, exploring distinct thread
+//!   interleavings of every [`sync`] / [`thread`] operation inside it —
+//!   bounded-exhaustive DFS first, randomized sampling past the branch
+//!   budget (see [`Builder`]).
+//! * [`sync`] mirrors `std::sync`: `Mutex`, `RwLock`, `Condvar`,
+//!   `atomic::{AtomicBool, AtomicUsize, AtomicU32, AtomicU64}`, `Arc`.
+//! * [`thread`] mirrors `std::thread`: `spawn`, `Builder`, `JoinHandle`,
+//!   `yield_now`.
+//!
+//! Production code is ported onto these types behind `--cfg haec_loom`
+//! (see the workspace README §10): under the cfg, `exec`/`core`/`txn`
+//! protocols run on shim primitives, and the `loom_*` integration tests
+//! drive them through [`model`]. Without the cfg — and for any use of
+//! these types *outside* a [`model`] call — every primitive transparently
+//! degrades to its plain std behavior, so one binary serves both worlds.
+//!
+//! The checker explores interleavings at **sequential consistency**; it
+//! does not simulate weak-memory reorderings the way the real loom's
+//! C11 model does. See the `rt` module docs for the scheduler design,
+//! exploration strategy, and panic/deadlock handling.
+//!
+//! ## Example
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let report = loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.interleavings >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+/// What a [`model`] run explored. Returned on success (every explored
+/// interleaving passed); tests assert on it to prove the model actually
+/// branched.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct interleavings (unique choice traces) explored.
+    pub interleavings: usize,
+    /// Total executions of the closure (≥ `interleavings`; sampling can
+    /// rediscover a trace it has already seen).
+    pub executions: usize,
+    /// `true` when the whole choice tree fit in the branch budget — the
+    /// exploration was exhaustive, not sampled.
+    pub exhaustive: bool,
+    /// Deepest schedule (number of choice points) seen.
+    pub max_depth: usize,
+}
+
+/// Configuration for a [`model`] run. `Default`/[`Builder::from_env`]
+/// read `LOOM_MAX_BRANCHES`, `LOOM_SAMPLES` and `LOOM_SEED`, so CI can
+/// deepen exploration (the nightly job raises `LOOM_MAX_BRANCHES`)
+/// without code changes.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// DFS execution budget before falling back to sampling.
+    pub max_branches: usize,
+    /// Number of randomized schedules to sample past the budget.
+    pub samples: usize,
+    /// Seed for the sampling RNG (deterministic; no OS entropy).
+    pub seed: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::from_env()
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Builder {
+    /// Defaults (`max_branches` 2000, `samples` 64, `seed` 1) overridden
+    /// by the `LOOM_MAX_BRANCHES` / `LOOM_SAMPLES` / `LOOM_SEED`
+    /// environment variables.
+    pub fn from_env() -> Builder {
+        Builder {
+            max_branches: env_usize("LOOM_MAX_BRANCHES", 2000),
+            samples: env_usize("LOOM_SAMPLES", 64),
+            seed: env_usize("LOOM_SEED", 1) as u64,
+        }
+    }
+
+    /// Runs `f` under every schedule the exploration strategy produces.
+    ///
+    /// Returns a [`Report`] if every interleaving passes. If any
+    /// interleaving panics (a failed assertion — the model found a bug)
+    /// the counterexample schedule is printed to stderr and the original
+    /// panic payload is re-raised; a deadlock (every live thread
+    /// blocked) panics with a diagnostic listing the thread states.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises model failures as described above; also panics on
+    /// nested use (calling [`model`] from inside a model closure).
+    pub fn check<F: Fn()>(self, f: F) -> Report {
+        assert!(rt::context().is_none(), "loom::model is not reentrant: already inside a model execution");
+        let mut explorer = rt::Explorer::new(self.max_branches, self.samples, self.seed);
+        loop {
+            let (prefix, rng) = explorer.next_schedule();
+            let outcome = rt::run_once(&f, prefix, rng);
+            if let Some(fault) = outcome.fault {
+                eprintln!("loom: counterexample schedule: {:?}", outcome.trace);
+                panic!("loom: {fault}");
+            }
+            if let Some(payload) = outcome.panic {
+                eprintln!("loom: counterexample schedule: {:?}", outcome.trace);
+                std::panic::resume_unwind(payload);
+            }
+            if !explorer.record(outcome.trace) {
+                break;
+            }
+        }
+        Report {
+            interleavings: explorer.distinct_interleavings(),
+            executions: explorer.executions(),
+            exhaustive: explorer.exhaustive(),
+            max_depth: explorer.max_depth(),
+        }
+    }
+}
+
+/// Model-checks `f` with [`Builder::from_env`] settings: runs it under
+/// systematically explored thread interleavings and panics on the first
+/// failing one. See [`Builder::check`].
+pub fn model<F: Fn()>(f: F) -> Report {
+    Builder::from_env().check(f)
+}

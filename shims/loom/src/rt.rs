@@ -1,0 +1,528 @@
+//! The model-checking runtime: a baton-passing deterministic scheduler
+//! plus a schedule explorer.
+//!
+//! # How an execution runs
+//!
+//! Every model thread (the closure passed to [`crate::model`] plus
+//! everything it spawns through [`crate::thread::spawn`]) runs on a real
+//! OS thread, but **only one of them executes at a time**: a thread may
+//! only make progress while it holds the *baton* (`Inner::active`).
+//! Before every visible operation — a lock acquire, an atomic access, a
+//! spawn — the running thread calls back into the scheduler, which picks
+//! the next thread to run from the currently runnable set. Each such
+//! pick with more than one candidate is a **choice point**; the sequence
+//! of picks is the *schedule*, and exploring schedules is exploring
+//! interleavings.
+//!
+//! Because execution is serialized, the primitives in [`crate::sync`]
+//! can keep their bookkeeping in plain (std) atomics: between two yield
+//! points exactly one model thread touches them. The trade-off is that
+//! the checker explores interleavings at *sequential consistency* — it
+//! does not model weak-memory reorderings the way the real `loom` crate
+//! does. For the lock/condvar/CAS protocols this workspace verifies,
+//! sequentially consistent interleaving coverage is the property that
+//! matters.
+//!
+//! # How schedules are explored
+//!
+//! [`Explorer`] drives an iterative depth-first search over the choice
+//! tree: each execution replays a recorded prefix of choices and extends
+//! it with first-candidate picks; after the execution the deepest choice
+//! with untried alternatives is advanced and everything after it is
+//! discarded. When the tree is larger than the branch budget
+//! (`LOOM_MAX_BRANCHES`), the search falls back to randomized sampling
+//! (`LOOM_SAMPLES` schedules from a seeded LCG), so big protocols still
+//! get broad — if no longer exhaustive — coverage.
+//!
+//! # Panics, deadlocks, and aborts
+//!
+//! A panic in any model thread (a failed assertion — the model found a
+//! bug) aborts the whole execution: the payload is recorded, every
+//! parked thread is woken with a sentinel [`AbortExecution`] panic so it
+//! can unwind and release its OS resources, and [`crate::model`]
+//! re-raises the original payload after printing the counterexample
+//! schedule. A state where every unfinished thread is blocked is
+//! reported the same way, as a deadlock.
+
+use std::any::Any;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Sentinel panic payload used to unwind parked threads of an aborted
+/// execution. Never escapes [`crate::model`].
+pub(crate) struct AbortExecution;
+
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// What a model thread is currently able to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Schedulable (may or may not hold the baton right now).
+    Runnable,
+    /// Parked until the resource with this id is released/notified.
+    Blocked(u64),
+    /// Returned (or unwound); never scheduled again.
+    Finished,
+}
+
+/// Identifies something a thread can block on. Sync objects draw fresh
+/// ids from [`next_resource_id`]; "thread `t` finished" join resources
+/// use the high-bit namespace so the two can never collide.
+pub(crate) fn join_resource(tid: usize) -> u64 {
+    (1 << 63) | tid as u64
+}
+
+static RESOURCE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh id for a sync object (never 0, never in the join namespace).
+pub(crate) fn next_resource_id() -> u64 {
+    RESOURCE_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Per-execution scheduler
+// ---------------------------------------------------------------------
+
+struct Inner {
+    threads: Vec<TState>,
+    /// Which thread holds the baton.
+    active: usize,
+    /// Replay prefix for this execution (choices taken, by choice index).
+    prefix: Vec<usize>,
+    /// Choices actually taken this execution: `(taken, options)`.
+    trace: Vec<(usize, usize)>,
+    /// Position in the choice sequence.
+    cursor: usize,
+    /// Random tie-breaking (sampling mode) instead of first-candidate.
+    rng: Option<Lcg>,
+    aborted: bool,
+    /// First user panic payload of the execution (the counterexample).
+    panic: Option<Payload>,
+    /// Human-readable reason when the abort was scheduler-detected
+    /// (deadlock) rather than a user panic.
+    fault: Option<String>,
+}
+
+/// The per-execution deterministic scheduler. One exists per run of the
+/// model closure; model threads reach it through [`crate::context`].
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    fn new(prefix: Vec<usize>, rng: Option<Lcg>) -> Arc<Scheduler> {
+        Arc::new(Scheduler {
+            inner: Mutex::new(Inner {
+                threads: vec![TState::Runnable],
+                active: 0,
+                prefix,
+                trace: Vec::new(),
+                cursor: 0,
+                rng,
+                aborted: false,
+                panic: None,
+                fault: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Registers a new model thread (spawn side); it starts runnable but
+    /// does not get the baton until the spawner yields it.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = lock(&self.inner);
+        g.threads.push(TState::Runnable);
+        g.threads.len() - 1
+    }
+
+    /// Picks the next thread to run from the runnable set and hands it
+    /// the baton. Must be called with the state lock held by the current
+    /// baton holder (or during abort, where the pick is moot).
+    fn pick_next(&self, g: &mut MutexGuard<'_, Inner>, me: usize) {
+        let runnable: Vec<usize> =
+            (0..g.threads.len()).filter(|&t| g.threads[t] == TState::Runnable).collect();
+        if runnable.is_empty() {
+            if g.threads.iter().all(|&t| t == TState::Finished) {
+                // Execution complete; nothing left to schedule.
+                self.cv.notify_all();
+                return;
+            }
+            // Every unfinished thread is blocked: a real deadlock.
+            let states: Vec<String> =
+                g.threads.iter().enumerate().map(|(i, t)| format!("t{i}:{t:?}")).collect();
+            g.fault = Some(format!("deadlock detected: all live threads blocked [{}]", states.join(" ")));
+            g.aborted = true;
+            self.cv.notify_all();
+            // The caller (blocked or finishing) observes `aborted` and
+            // unwinds; if it was `me` finishing, nothing to do.
+            let _ = me;
+            return;
+        }
+        let options = runnable.len();
+        let choice = if options == 1 {
+            0
+        } else {
+            let cursor = g.cursor;
+            let c = if cursor < g.prefix.len() {
+                g.prefix[cursor].min(options - 1)
+            } else if let Some(rng) = g.rng.as_mut() {
+                (rng.next() as usize) % options
+            } else {
+                0
+            };
+            g.trace.push((c, options));
+            g.cursor += 1;
+            c
+        };
+        g.active = runnable[choice];
+        self.cv.notify_all();
+    }
+
+    /// A visible operation by the running thread: offer the baton to a
+    /// (possibly different) runnable thread, then wait to run again.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut g = lock(&self.inner);
+        if g.aborted {
+            drop(g);
+            std::panic::panic_any(AbortExecution);
+        }
+        debug_assert_eq!(g.active, me, "yield from a thread not holding the baton");
+        self.pick_next(&mut g, me);
+        self.wait_for_baton(g, me);
+    }
+
+    /// Parks the current thread on `resource` and schedules another.
+    pub(crate) fn block(&self, me: usize, resource: u64) {
+        let mut g = lock(&self.inner);
+        if g.aborted {
+            drop(g);
+            std::panic::panic_any(AbortExecution);
+        }
+        g.threads[me] = TState::Blocked(resource);
+        self.pick_next(&mut g, me);
+        self.wait_for_baton(g, me);
+    }
+
+    /// Marks every thread parked on `resource` runnable again (they
+    /// still wait for the baton). Never a yield point and never panics:
+    /// safe to call from guard destructors during unwinding.
+    pub(crate) fn unblock(&self, resource: u64) {
+        let mut g = lock(&self.inner);
+        for t in g.threads.iter_mut() {
+            if *t == TState::Blocked(resource) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    /// Called by a model thread when its closure has returned or
+    /// unwound: releases joiners, hands the baton on, never blocks.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut g = lock(&self.inner);
+        g.threads[me] = TState::Finished;
+        for t in g.threads.iter_mut() {
+            if *t == TState::Blocked(join_resource(me)) {
+                *t = TState::Runnable;
+            }
+        }
+        if !g.aborted {
+            self.pick_next(&mut g, me);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Whether thread `tid` has finished (join fast path).
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        lock(&self.inner).threads[tid] == TState::Finished
+    }
+
+    /// Records the first user panic of the execution and aborts it,
+    /// waking every parked thread so it can unwind.
+    pub(crate) fn record_panic(&self, payload: Payload) {
+        let mut g = lock(&self.inner);
+        if g.panic.is_none() {
+            g.panic = Some(payload);
+        }
+        g.aborted = true;
+        for t in g.threads.iter_mut() {
+            if matches!(*t, TState::Blocked(_)) {
+                *t = TState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// True once the execution has been aborted (panic or deadlock).
+    pub(crate) fn aborted(&self) -> bool {
+        lock(&self.inner).aborted
+    }
+
+    /// Aborts the execution without supplying a payload (the payload, if
+    /// any, arrives later via [`Scheduler::record_panic`] when the
+    /// unwinding thread's wrapper catches it). Used when a panicking
+    /// thread is about to wait for something only a parked thread can
+    /// provide: parked threads must be woken to unwind, or the teardown
+    /// would wait forever. Idempotent and never panics.
+    pub(crate) fn abort_no_payload(&self) {
+        let mut g = lock(&self.inner);
+        g.aborted = true;
+        for t in g.threads.iter_mut() {
+            if matches!(*t, TState::Blocked(_)) {
+                *t = TState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// First wait of a freshly spawned model thread: it is registered as
+    /// runnable but must not execute until the scheduler hands it the
+    /// baton for the first time.
+    pub(crate) fn wait_initial(&self, me: usize) {
+        let g = lock(&self.inner);
+        self.wait_for_baton(g, me);
+    }
+
+    fn wait_for_baton(&self, mut g: MutexGuard<'_, Inner>, me: usize) {
+        while !(g.aborted || (g.active == me && g.threads[me] == TState::Runnable)) {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        if g.aborted {
+            drop(g);
+            std::panic::panic_any(AbortExecution);
+        }
+    }
+
+    /// Main-thread epilogue: wait until every model thread has finished.
+    /// Unlike [`Scheduler::wait_for_baton`] this tolerates the aborted
+    /// state — the main thread must survive to run the next execution.
+    fn wait_all_finished(&self) {
+        let mut g = lock(&self.inner);
+        while !g.threads.iter().all(|&t| t == TState::Finished) {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local execution context
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static CONTEXT: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler + thread id of the current model thread, if this OS
+/// thread is part of a running execution. `None` means the shim
+/// primitives operate in passthrough (plain std) mode.
+pub(crate) fn context() -> Option<(Arc<Scheduler>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_context(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CONTEXT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// How a primitive operation should behave right now.
+pub(crate) enum Mode {
+    /// Not inside a model execution: plain std behavior.
+    Passthrough,
+    /// Inside a model execution but the thread is unwinding a panic:
+    /// never schedule, never panic (a panic here would be a
+    /// double-panic process abort), force every acquisition through.
+    Force(Arc<Scheduler>),
+    /// Normal modeled operation under the baton scheduler.
+    Model(Arc<Scheduler>, usize),
+}
+
+/// Classifies the current thread for a primitive op, killing threads of
+/// aborted executions (sentinel panic) on the way.
+pub(crate) fn mode() -> Mode {
+    match context() {
+        None => Mode::Passthrough,
+        Some((sched, me)) => {
+            if std::thread::panicking() {
+                // A model thread unwinding may need resources held by
+                // parked siblings; make sure they wake up and unwind too.
+                sched.abort_no_payload();
+                Mode::Force(sched)
+            } else if sched.aborted() {
+                std::panic::panic_any(AbortExecution);
+            } else {
+                Mode::Model(sched, me)
+            }
+        }
+    }
+}
+
+/// Yield point helper used by every modeled primitive: a scheduling
+/// opportunity before the op in [`Mode::Model`], a no-op otherwise.
+pub(crate) fn yield_point() {
+    if let Mode::Model(sched, me) = mode() {
+        sched.yield_point(me);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schedule explorer
+// ---------------------------------------------------------------------
+
+/// A recorded choice: which candidate was taken, out of how many.
+#[derive(Clone, Copy)]
+struct Choice {
+    taken: usize,
+    options: usize,
+}
+
+/// Deterministic splitmix-style generator for the sampling fallback —
+/// the shim must stay reproducible, so no OS entropy is ever read.
+pub(crate) struct Lcg(u64);
+
+impl Lcg {
+    pub(crate) fn new(seed: u64) -> Lcg {
+        Lcg(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Iterative DFS over schedules with a branch budget and a randomized
+/// sampling fallback; see the module docs.
+pub(crate) struct Explorer {
+    stack: Vec<Choice>,
+    max_branches: usize,
+    samples: usize,
+    seed: u64,
+    executions: usize,
+    sampling: bool,
+    done: bool,
+    distinct: HashSet<Vec<(usize, usize)>>,
+    max_depth: usize,
+}
+
+impl Explorer {
+    pub(crate) fn new(max_branches: usize, samples: usize, seed: u64) -> Explorer {
+        Explorer {
+            stack: Vec::new(),
+            max_branches: max_branches.max(1),
+            samples,
+            seed,
+            executions: 0,
+            sampling: false,
+            done: false,
+            distinct: HashSet::new(),
+            max_depth: 0,
+        }
+    }
+
+    pub(crate) fn executions(&self) -> usize {
+        self.executions
+    }
+
+    pub(crate) fn distinct_interleavings(&self) -> usize {
+        self.distinct.len()
+    }
+
+    pub(crate) fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// `true` while still in the exhaustive DFS phase (no sampling yet).
+    pub(crate) fn exhaustive(&self) -> bool {
+        !self.sampling
+    }
+
+    /// The schedule for the next execution: a replay prefix plus,
+    /// in sampling mode, a seeded RNG for everything beyond it.
+    pub(crate) fn next_schedule(&mut self) -> (Vec<usize>, Option<Lcg>) {
+        if self.sampling {
+            // Each sample gets its own deterministic stream.
+            (Vec::new(), Some(Lcg::new(self.seed.wrapping_add(self.executions as u64))))
+        } else {
+            (self.stack.iter().map(|c| c.taken).collect(), None)
+        }
+    }
+
+    /// Digests a finished execution's trace; returns `false` when
+    /// exploration is over.
+    pub(crate) fn record(&mut self, trace: Vec<(usize, usize)>) -> bool {
+        self.executions += 1;
+        self.max_depth = self.max_depth.max(trace.len());
+        self.distinct.insert(trace.clone());
+        if self.sampling {
+            if self.executions >= self.max_branches + self.samples {
+                self.done = true;
+            }
+            return !self.done;
+        }
+        // DFS: advance the deepest choice with untried alternatives.
+        self.stack = trace.iter().map(|&(taken, options)| Choice { taken, options }).collect();
+        while let Some(last) = self.stack.last_mut() {
+            if last.taken + 1 < last.options {
+                last.taken += 1;
+                break;
+            }
+            self.stack.pop();
+        }
+        if self.stack.is_empty() {
+            // Tree exhausted within budget: fully explored.
+            self.done = true;
+            return false;
+        }
+        if self.executions >= self.max_branches {
+            // Budget exceeded: fall back to randomized sampling unless
+            // the caller asked for none.
+            self.sampling = true;
+            if self.samples == 0 {
+                self.done = true;
+                return false;
+            }
+        }
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution driver (used by crate::model)
+// ---------------------------------------------------------------------
+
+/// Outcome of one execution of the model closure.
+pub(crate) struct ExecOutcome {
+    pub(crate) trace: Vec<(usize, usize)>,
+    pub(crate) panic: Option<Payload>,
+    pub(crate) fault: Option<String>,
+}
+
+/// Runs the model closure once under a fresh scheduler following
+/// `prefix` (+ `rng` beyond it) and reports what happened.
+pub(crate) fn run_once<F: Fn()>(f: &F, prefix: Vec<usize>, rng: Option<Lcg>) -> ExecOutcome {
+    let sched = Scheduler::new(prefix, rng);
+    set_context(Some((Arc::clone(&sched), 0)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    // The main thread retires: hand the baton to whoever is left, then
+    // wait for every spawned thread to finish (threads are joined by
+    // their JoinHandle wrappers or unwound by the abort sentinel).
+    match result {
+        Ok(()) => sched.finish(0),
+        Err(payload) => {
+            if payload.downcast_ref::<AbortExecution>().is_none() {
+                sched.record_panic(payload);
+            }
+            sched.finish(0);
+        }
+    }
+    sched.wait_all_finished();
+    set_context(None);
+    let mut g = lock(&sched.inner);
+    ExecOutcome { trace: std::mem::take(&mut g.trace), panic: g.panic.take(), fault: g.fault.take() }
+}

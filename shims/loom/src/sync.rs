@@ -1,0 +1,569 @@
+//! Model-checked stand-ins for `std::sync` primitives.
+//!
+//! Each type mirrors the std API (including `LockResult` signatures, so
+//! code ports with an import swap) but routes every *acquisition* —
+//! lock, read, write, atomic access, condvar wait/notify — through the
+//! scheduler in the `rt` module: inside [`crate::model`] each such op is a
+//! scheduling opportunity the explorer branches on, and blocking parks
+//! the model thread so the scheduler can detect deadlocks. Outside a
+//! model execution every type degrades to plain std behavior
+//! (passthrough), so code built against these primitives still runs
+//! normally.
+//!
+//! Releases (guard drops, `notify` bookkeeping) are deliberately **not**
+//! scheduling points and can never panic: destructors run during panic
+//! unwinding, where a second panic would abort the process.
+//!
+//! Bookkeeping (who holds which lock) lives in plain std atomics: the
+//! baton scheduler runs exactly one model thread between yield points,
+//! so these fields are never raced during a healthy execution. The
+//! underlying data itself sits in real std locks acquired with a
+//! `try_lock` spin — a belt-and-braces guarantee that even the teardown
+//! of an aborted execution (where several threads unwind concurrently)
+//! stays memory-safe.
+
+use crate::rt::{self, Mode};
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+pub use std::sync::Arc;
+
+/// Spin-acquire a std mutex that the model bookkeeping says is ours.
+/// During normal modeled execution the first `try_lock` succeeds; the
+/// loop only spins while tearing down an aborted execution, where the
+/// holder is a concurrently-unwinding thread about to release.
+fn spin_lock<T: ?Sized>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    loop {
+        match m.try_lock() {
+            Ok(g) => return g,
+            Err(TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(TryLockError::WouldBlock) => std::thread::yield_now(),
+        }
+    }
+}
+
+fn spin_read<T: ?Sized>(l: &std::sync::RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    loop {
+        match l.try_read() {
+            Ok(g) => return g,
+            Err(TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(TryLockError::WouldBlock) => std::thread::yield_now(),
+        }
+    }
+}
+
+fn spin_write<T: ?Sized>(l: &std::sync::RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    loop {
+        match l.try_write() {
+            Ok(g) => return g,
+            Err(TryLockError::Poisoned(p)) => return p.into_inner(),
+            Err(TryLockError::WouldBlock) => std::thread::yield_now(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// A model-checked mutual-exclusion lock with the `std::sync::Mutex`
+/// API.
+pub struct Mutex<T: ?Sized> {
+    rid: u64,
+    /// Model-level ownership flag; see the module docs.
+    held: std::sync::atomic::AtomicBool,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            rid: rt::next_resource_id(),
+            held: std::sync::atomic::AtomicBool::new(false),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock; inside a model this is a scheduling point and
+    /// may park the thread.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::mode() {
+            Mode::Passthrough => {
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard { lock: self, inner: Some(inner), modeled: None })
+            }
+            Mode::Force(_) => {
+                Ok(MutexGuard { lock: self, inner: Some(spin_lock(&self.inner)), modeled: None })
+            }
+            Mode::Model(sched, me) => {
+                sched.yield_point(me);
+                while self.held.swap(true, StdOrdering::SeqCst) {
+                    sched.block(me, self.rid);
+                }
+                Ok(MutexGuard { lock: self, inner: Some(spin_lock(&self.inner)), modeled: Some(sched) })
+            }
+        }
+    }
+
+    /// Attempts the lock without blocking (still a scheduling point
+    /// inside a model).
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError<MutexGuard<'_, T>>> {
+        match rt::mode() {
+            Mode::Passthrough | Mode::Force(_) => match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard { lock: self, inner: Some(g), modeled: None }),
+                Err(TryLockError::Poisoned(p)) => {
+                    Ok(MutexGuard { lock: self, inner: Some(p.into_inner()), modeled: None })
+                }
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            },
+            Mode::Model(sched, me) => {
+                sched.yield_point(me);
+                if self.held.swap(true, StdOrdering::SeqCst) {
+                    return Err(TryLockError::WouldBlock);
+                }
+                Ok(MutexGuard { lock: self, inner: Some(spin_lock(&self.inner)), modeled: Some(sched) })
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases (and wakes model-level
+/// waiters) on drop, which is never a scheduling point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// `Some` when the acquisition went through model bookkeeping and
+    /// the drop must release it.
+    modeled: Option<std::sync::Arc<rt::Scheduler>>,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model-level flag so no other
+        // thread can observe "free" while the std mutex is still held.
+        self.inner = None;
+        if let Some(sched) = self.modeled.take() {
+            self.lock.held.store(false, StdOrdering::SeqCst);
+            sched.unblock(self.lock.rid);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// A model-checked condition variable with the `std::sync::Condvar`
+/// API surface this workspace uses (`wait`, `notify_one`, `notify_all`).
+///
+/// `notify_one` conservatively wakes **every** current waiter: spurious
+/// wakeups are allowed by the std contract (callers re-check their
+/// predicate in a loop), and waking all explores strictly more
+/// interleavings than waking one.
+pub struct Condvar {
+    rid: u64,
+    std: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Condvar {
+        Condvar { rid: rt::next_resource_id(), std: std::sync::Condvar::new() }
+    }
+
+    /// Atomically releases `guard`'s lock and parks until notified, then
+    /// re-acquires the lock. Wakeups may be spurious.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match rt::mode() {
+            Mode::Passthrough => {
+                let lock = guard.lock;
+                let std_guard = guard.inner.take().expect("guard accessed after release");
+                guard.modeled = None; // nothing to release on drop
+                drop(guard);
+                let inner = self.std.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard { lock, inner: Some(inner), modeled: None })
+            }
+            Mode::Force(_) => Ok(guard), // teardown: return as a spurious wakeup
+            Mode::Model(sched, me) => {
+                let lock = guard.lock;
+                // Atomic release-and-park: between these steps only this
+                // thread runs (no yield point), so a notify cannot slip
+                // into the gap — the usual lost-wakeup guarantee.
+                guard.inner = None;
+                guard.modeled = None;
+                lock.held.store(false, StdOrdering::SeqCst);
+                sched.unblock(lock.rid);
+                drop(guard);
+                sched.block(me, self.rid);
+                // Re-acquire the lock like a fresh `lock()` call.
+                while lock.held.swap(true, StdOrdering::SeqCst) {
+                    sched.block(me, lock.rid);
+                }
+                Ok(MutexGuard { lock, inner: Some(spin_lock(&lock.inner)), modeled: Some(sched) })
+            }
+        }
+    }
+
+    /// Wakes one waiter (modeled as wake-all; see the type docs).
+    pub fn notify_one(&self) {
+        self.notify_all();
+    }
+
+    /// Wakes every current waiter.
+    pub fn notify_all(&self) {
+        match rt::mode() {
+            Mode::Passthrough => self.std.notify_all(),
+            Mode::Force(sched) => sched.unblock(self.rid),
+            Mode::Model(sched, me) => {
+                sched.yield_point(me);
+                sched.unblock(self.rid);
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// A model-checked reader-writer lock with the `std::sync::RwLock` API.
+pub struct RwLock<T: ?Sized> {
+    rid: u64,
+    readers: std::sync::atomic::AtomicUsize,
+    writer: std::sync::atomic::AtomicBool,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            rid: rt::next_resource_id(),
+            readers: std::sync::atomic::AtomicUsize::new(0),
+            writer: std::sync::atomic::AtomicBool::new(false),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard; a scheduling point inside a model.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match rt::mode() {
+            Mode::Passthrough => {
+                let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+                Ok(RwLockReadGuard { lock: self, inner: Some(inner), modeled: None })
+            }
+            Mode::Force(_) => {
+                Ok(RwLockReadGuard { lock: self, inner: Some(spin_read(&self.inner)), modeled: None })
+            }
+            Mode::Model(sched, me) => {
+                sched.yield_point(me);
+                while self.writer.load(StdOrdering::SeqCst) {
+                    sched.block(me, self.rid);
+                }
+                self.readers.fetch_add(1, StdOrdering::SeqCst);
+                Ok(RwLockReadGuard { lock: self, inner: Some(spin_read(&self.inner)), modeled: Some(sched) })
+            }
+        }
+    }
+
+    /// Acquires an exclusive write guard; a scheduling point inside a
+    /// model.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match rt::mode() {
+            Mode::Passthrough => {
+                let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+                Ok(RwLockWriteGuard { lock: self, inner: Some(inner), modeled: None })
+            }
+            Mode::Force(_) => {
+                Ok(RwLockWriteGuard { lock: self, inner: Some(spin_write(&self.inner)), modeled: None })
+            }
+            Mode::Model(sched, me) => {
+                sched.yield_point(me);
+                while self.writer.load(StdOrdering::SeqCst) || self.readers.load(StdOrdering::SeqCst) > 0 {
+                    sched.block(me, self.rid);
+                }
+                self.writer.store(true, StdOrdering::SeqCst);
+                Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(spin_write(&self.inner)),
+                    modeled: Some(sched),
+                })
+            }
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    modeled: Option<std::sync::Arc<rt::Scheduler>>,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some(sched) = self.modeled.take() {
+            self.lock.readers.fetch_sub(1, StdOrdering::SeqCst);
+            sched.unblock(self.lock.rid);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    modeled: Option<std::sync::Arc<rt::Scheduler>>,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some(sched) = self.modeled.take() {
+            self.lock.writer.store(false, StdOrdering::SeqCst);
+            sched.unblock(self.lock.rid);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+/// Model-checked atomic integers and booleans.
+///
+/// Every access is a scheduling point inside a model; the actual
+/// operation always runs at `SeqCst` regardless of the ordering asked
+/// for, so the checker explores interleavings at sequential consistency
+/// (weak-memory reorderings are out of scope — see the `rt` module).
+pub mod atomic {
+    use crate::rt;
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Model-checked counterpart of the std atomic of the same
+            /// name; every access is a scheduling point inside a model.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates the atomic with an initial value.
+                pub fn new(v: $ty) -> $name {
+                    $name { v: std::sync::atomic::$std::new(v) }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.v.load(StdOrdering::SeqCst)
+                }
+
+                /// Stores a value.
+                pub fn store(&self, val: $ty, _order: Ordering) {
+                    rt::yield_point();
+                    self.v.store(val, StdOrdering::SeqCst)
+                }
+
+                /// Replaces the value, returning the previous one.
+                pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.v.swap(val, StdOrdering::SeqCst)
+                }
+
+                /// Adds to the value, returning the previous one.
+                pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.v.fetch_add(val, StdOrdering::SeqCst)
+                }
+
+                /// Subtracts from the value, returning the previous one.
+                pub fn fetch_sub(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.v.fetch_sub(val, StdOrdering::SeqCst)
+                }
+
+                /// Stores the maximum of the value and `val`, returning
+                /// the previous value.
+                pub fn fetch_max(&self, val: $ty, _order: Ordering) -> $ty {
+                    rt::yield_point();
+                    self.v.fetch_max(val, StdOrdering::SeqCst)
+                }
+
+                /// Compare-and-exchange with the std signature.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::yield_point();
+                    self.v.compare_exchange(current, new, StdOrdering::SeqCst, StdOrdering::SeqCst)
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $ty {
+                    self.v.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicUsize, AtomicUsize, usize);
+    int_atomic!(AtomicU64, AtomicU64, u64);
+    int_atomic!(AtomicU32, AtomicU32, u32);
+
+    /// Model-checked counterpart of `std::sync::atomic::AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic with an initial value.
+        pub fn new(v: bool) -> AtomicBool {
+            AtomicBool { v: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        /// Loads the value.
+        pub fn load(&self, _order: Ordering) -> bool {
+            rt::yield_point();
+            self.v.load(StdOrdering::SeqCst)
+        }
+
+        /// Stores a value.
+        pub fn store(&self, val: bool, _order: Ordering) {
+            rt::yield_point();
+            self.v.store(val, StdOrdering::SeqCst)
+        }
+
+        /// Replaces the value, returning the previous one.
+        pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+            rt::yield_point();
+            self.v.swap(val, StdOrdering::SeqCst)
+        }
+
+        /// Consumes the atomic, returning the value.
+        pub fn into_inner(self) -> bool {
+            self.v.into_inner()
+        }
+    }
+}

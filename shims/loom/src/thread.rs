@@ -1,0 +1,155 @@
+//! Model-checked stand-ins for `std::thread` spawning.
+//!
+//! Inside [`crate::model`], [`spawn`] (and [`Builder::spawn`]) creates a
+//! real OS thread that registers with the execution's scheduler and then
+//! parks until the baton is handed to it — so the closure only ever runs
+//! when the explorer schedules it. [`JoinHandle::join`] is a blocking
+//! scheduler operation like a lock acquire. Outside a model execution
+//! everything delegates to plain `std::thread`.
+
+use crate::rt::{self, Mode};
+use std::sync::{Arc, PoisonError};
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<rt::Scheduler>,
+        tid: usize,
+        /// Filled by the child just before it finishes (normal return).
+        slot: Arc<std::sync::Mutex<Option<T>>>,
+        /// The real OS thread hosting the model thread.
+        os: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// Handle to a spawned thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    imp: Imp<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model this parks the calling thread on the target's completion,
+    /// which is a scheduling point like any other blocking acquire.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            Imp::Std(h) => h.join(),
+            Imp::Model { sched, tid, slot, mut os } => {
+                match rt::mode() {
+                    Mode::Model(_, me) => {
+                        while !sched.is_finished(tid) {
+                            sched.block(me, rt::join_resource(tid));
+                        }
+                    }
+                    // Teardown of an aborted execution (or a join from
+                    // outside the model, which only happens during such
+                    // teardown): make sure nothing stays parked, then
+                    // wait for the real thread in real time.
+                    Mode::Force(s) => s.abort_no_payload(),
+                    Mode::Passthrough => sched.abort_no_payload(),
+                }
+                if let Some(os) = os.take() {
+                    let _ = os.join();
+                }
+                let value = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+                match value {
+                    Some(v) => Ok(v),
+                    // The child unwound. In a healthy model execution the
+                    // abort wakes us with a sentinel inside `block`, so
+                    // reaching here means we are tearing down; report a
+                    // generic panic like std would.
+                    None => Err(Box::new("model thread panicked")),
+                }
+            }
+        }
+    }
+}
+
+/// Builder mirroring `std::thread::Builder` (the subset this workspace
+/// uses: `new`, `name`, `spawn`).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a builder with no name set.
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    /// Names the thread (threads are real OS threads even under the
+    /// model, so the name shows up in debuggers either way).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the closure; inside a model it becomes a scheduler-managed
+    /// model thread, and the spawn itself is a scheduling point.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut builder = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            builder = builder.name(name);
+        }
+        match rt::mode() {
+            Mode::Passthrough | Mode::Force(_) => Ok(JoinHandle { imp: Imp::Std(builder.spawn(f)?) }),
+            Mode::Model(sched, me) => {
+                let tid = sched.register_thread();
+                let slot = Arc::new(std::sync::Mutex::new(None));
+                let child_slot = Arc::clone(&slot);
+                let child_sched = Arc::clone(&sched);
+                let os = builder.spawn(move || {
+                    rt::set_context(Some((Arc::clone(&child_sched), tid)));
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        child_sched.wait_initial(tid);
+                        f()
+                    }));
+                    match result {
+                        Ok(v) => {
+                            *child_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<rt::AbortExecution>().is_none() {
+                                child_sched.record_panic(payload);
+                            }
+                        }
+                    }
+                    child_sched.finish(tid);
+                })?;
+                // Let the explorer choose whether the child or the
+                // spawner runs next.
+                sched.yield_point(me);
+                Ok(JoinHandle { imp: Imp::Model { sched, tid, slot, os: Some(os) } })
+            }
+        }
+    }
+}
+
+/// Spawns a thread, mirroring `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Cooperative yield: a pure scheduling point inside a model, a real
+/// `std::thread::yield_now` outside.
+pub fn yield_now() {
+    match rt::mode() {
+        Mode::Model(sched, me) => sched.yield_point(me),
+        Mode::Passthrough | Mode::Force(_) => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,193 @@
+//! Calibration suite for the model checker itself: protocols with
+//! *known* races must fail within the exploration budget, correct ones
+//! must pass while reporting real interleaving coverage. If the checker
+//! ever stops being able to catch these, the `loom_*` suites in
+//! `exec`/`core`/`txn` prove nothing.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+
+/// Runs `f` under the model expecting at least one interleaving to fail;
+/// returns the panic message.
+fn model_must_fail<F: Fn() + Send + 'static>(f: F) -> String {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loom::model(f)));
+    let payload = result.expect_err("model checker missed a seeded concurrency bug");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// A correct protocol passes and the explorer visits several distinct
+/// interleavings — the positive control proving the checker branches.
+#[test]
+fn mutex_counter_passes_with_multiple_interleavings() {
+    let report = loom::model(|| {
+        let n = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    let mut g = n.lock().unwrap();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(report.interleavings > 1, "expected >1 distinct interleaving, got {report:?}");
+    assert!(report.exhaustive, "tiny model should fit the DFS budget: {report:?}");
+}
+
+/// Classic lost update: `load` then `store` with no synchronization.
+/// Some interleaving must drop an increment and fail the assertion.
+#[test]
+fn unguarded_counter_lost_update_is_caught() {
+    let msg = model_must_fail(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(msg.contains("lost update"), "unexpected failure message: {msg}");
+}
+
+/// A semaphore whose release path can run twice lets a third holder in;
+/// the model must find the interleaving where capacity is exceeded.
+#[test]
+fn double_release_semaphore_overadmits() {
+    let msg = model_must_fail(|| {
+        // permits starts at 1; a buggy "release" adds a permit
+        // unconditionally, so releasing twice admits two holders at once.
+        let permits = Arc::new(AtomicUsize::new(1));
+        let holders = Arc::new(AtomicUsize::new(0));
+
+        let acquire = |permits: &AtomicUsize| loop {
+            let p = permits.load(Ordering::SeqCst);
+            if p > 0 && permits.compare_exchange(p, p - 1, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+                return;
+            }
+            loom::thread::yield_now();
+        };
+
+        // Thread 0 acquires, then releases TWICE (the seeded bug).
+        let t0 = {
+            let permits = Arc::clone(&permits);
+            let holders = Arc::clone(&holders);
+            loom::thread::spawn(move || {
+                acquire(&permits);
+                holders.fetch_add(1, Ordering::SeqCst);
+                holders.fetch_sub(1, Ordering::SeqCst);
+                permits.fetch_add(1, Ordering::SeqCst);
+                permits.fetch_add(1, Ordering::SeqCst); // double release
+            })
+        };
+        // Two more threads may now both get in simultaneously.
+        let others: Vec<_> = (0..2)
+            .map(|_| {
+                let permits = Arc::clone(&permits);
+                let holders = Arc::clone(&holders);
+                loom::thread::spawn(move || {
+                    acquire(&permits);
+                    let inside = holders.fetch_add(1, Ordering::SeqCst) + 1;
+                    assert!(inside <= 1, "semaphore overadmitted");
+                    holders.fetch_sub(1, Ordering::SeqCst);
+                    permits.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        t0.join().unwrap();
+        for h in others {
+            h.join().unwrap();
+        }
+    });
+    assert!(msg.contains("overadmitted"), "unexpected failure message: {msg}");
+}
+
+/// ABBA lock ordering: the scheduler must detect the cycle and report a
+/// deadlock rather than hang.
+#[test]
+fn abba_deadlock_is_detected() {
+    let msg = model_must_fail(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let t = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            loom::thread::spawn(move || {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            })
+        };
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        t.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure message: {msg}");
+}
+
+/// Condvar wait/notify round-trip: no lost wakeups, and the protocol
+/// completes under every schedule.
+#[test]
+fn condvar_handoff_passes() {
+    let report = loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let t = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock().unwrap();
+                *ready = true;
+                drop(ready);
+                cv.notify_one();
+            })
+        };
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+    assert!(report.interleavings > 1, "expected >1 interleaving, got {report:?}");
+}
+
+/// Outside `loom::model` the primitives behave as plain std (passthrough
+/// mode): real threads, real locking, no scheduler involved.
+#[test]
+fn passthrough_mode_outside_model() {
+    let n = Arc::new(Mutex::new(0u32));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let n = Arc::clone(&n);
+            loom::thread::spawn(move || {
+                for _ in 0..100 {
+                    *n.lock().unwrap() += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*n.lock().unwrap(), 400);
+}

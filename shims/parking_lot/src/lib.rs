@@ -4,20 +4,32 @@
 //! non-poisoning API: `lock()` / `read()` / `write()` return guards
 //! directly, and a poisoned std lock is transparently recovered (the
 //! `parking_lot` semantics — locks are never poisoned).
+//!
+//! Under `--cfg haec_loom` the wrapped primitives come from the `loom`
+//! model-checking shim instead of std, which makes every crate locking
+//! through this shim (notably `haecdb`'s `Table`) model-checkable by
+//! `loom::model` with **zero changes to the protocol code** — the
+//! cfg switch happens here, below the API.
+
+#![forbid(unsafe_code)]
+#[cfg(haec_loom)]
+use loom::sync as sys;
+#[cfg(not(haec_loom))]
+use std::sync as sys;
 
 use std::sync::PoisonError;
 
 /// A mutual-exclusion lock that never poisons.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized>(sys::Mutex<T>);
 
 /// Guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+pub type MutexGuard<'a, T> = sys::MutexGuard<'a, T>;
 
 impl<T> Mutex<T> {
     /// Creates a lock holding `value`.
     pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex(sys::Mutex::new(value))
     }
 
     /// Consumes the lock, returning the inner value.
@@ -49,17 +61,17 @@ impl<T: ?Sized> Mutex<T> {
 
 /// A reader-writer lock that never poisons.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized>(sys::RwLock<T>);
 
 /// Guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockReadGuard<'a, T> = sys::RwLockReadGuard<'a, T>;
 /// Guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sys::RwLockWriteGuard<'a, T>;
 
 impl<T> RwLock<T> {
     /// Creates a lock holding `value`.
     pub fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock(sys::RwLock::new(value))
     }
 
     /// Consumes the lock, returning the inner value.

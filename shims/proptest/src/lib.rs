@@ -14,6 +14,7 @@
 //! budget for this repository — and can be overridden with the
 //! `PROPTEST_CASES` environment variable.
 
+#![forbid(unsafe_code)]
 pub mod test_runner {
     /// Failure raised by `prop_assert!`-family macros inside a property.
     #[derive(Debug)]

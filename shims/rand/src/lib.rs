@@ -9,6 +9,7 @@
 //! ChaCha12 of the real `StdRng`, but statistically strong enough for
 //! the workload-generation and distribution tests in this repository.
 
+#![forbid(unsafe_code)]
 pub mod rngs {
     /// A deterministic pseudo-random generator (xoshiro256++).
     #[derive(Clone, Debug)]
