@@ -24,6 +24,7 @@ pub mod e19_join_compressed;
 pub mod e20_late_materialization;
 pub mod e21_mvcc_snapshots;
 pub mod e22_query_server;
+pub mod e23_sort_layout;
 
 use crate::report::Report;
 
@@ -55,6 +56,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e20", e20_late_materialization::run),
         ("e21", e21_mvcc_snapshots::run),
         ("e22", e22_query_server::run),
+        ("e23", e23_sort_layout::run),
         ("a01", a01_ablations::run),
     ]
 }

@@ -231,6 +231,69 @@ impl EncodedInts {
         let raw = self.len() * 8;
         CompressionStats { scheme: self.scheme(), raw_bytes: raw, encoded_bytes: self.size_bytes() }
     }
+
+    /// Resolves `value op literal` to the contiguous matching row range
+    /// `[lo, hi)` by binary search, assuming the rows are sorted
+    /// ascending. RLE searches its run boundaries (the boundaries *are*
+    /// the sorted-layout index); other schemes probe `get`. Each probe
+    /// increments `probes` so callers can bill the O(log n) touch
+    /// honestly instead of charging a full-column scan.
+    ///
+    /// Returns `None` for [`CmpOp::Ne`], whose matches are not
+    /// contiguous. The caller must guarantee sortedness — the result is
+    /// meaningless on unsorted data.
+    pub fn sorted_range(&self, op: CmpOp, literal: i64, probes: &mut u64) -> Option<(usize, usize)> {
+        let n = self.len();
+        // First row with value >= literal (strict=false) or > literal
+        // (strict=true).
+        let bound = |after: bool, probes: &mut u64| -> usize {
+            if let EncodedInts::Rle(e) = self {
+                let runs = e.runs();
+                let (mut lo, mut hi) = (0usize, runs.len());
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    *probes += 1;
+                    let below = if after { runs[mid].value <= literal } else { runs[mid].value < literal };
+                    if below {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                if lo < runs.len() {
+                    runs[lo].start
+                } else {
+                    n
+                }
+            } else {
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    *probes += 1;
+                    let v = self.get(mid);
+                    let below = if after { v <= literal } else { v < literal };
+                    if below {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+        };
+        match op {
+            CmpOp::Eq => {
+                let lo = bound(false, probes);
+                let hi = bound(true, probes);
+                Some((lo, hi))
+            }
+            CmpOp::Lt => Some((0, bound(false, probes))),
+            CmpOp::Le => Some((0, bound(true, probes))),
+            CmpOp::Gt => Some((bound(true, probes), n)),
+            CmpOp::Ge => Some((bound(false, probes), n)),
+            CmpOp::Ne => None,
+        }
+    }
 }
 
 /// Streaming decoder over any [`EncodedInts`] (see
@@ -347,6 +410,45 @@ mod tests {
                 let e = EncodedInts::encode(&data, scheme);
                 assert_eq!(e.decode(), data, "{name} / {scheme}");
                 assert_eq!(e.len(), data.len(), "{name} / {scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_range_matches_linear_scan_on_sorted_data() {
+        let sets: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![5],
+            (0..1000).map(|i| i / 50).collect(), // long duplicate runs
+            (0..1000).collect(),                 // unique keys
+            (-500..500).map(|i| i / 3).collect(),
+        ];
+        let ops = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        for data in &sets {
+            for scheme in Scheme::ALL {
+                let e = EncodedInts::encode(data, scheme);
+                for &lit in &[-200i64, -1, 0, 3, 19, 999, 1_000_000] {
+                    for op in ops {
+                        let mut probes = 0u64;
+                        let (lo, hi) = e.sorted_range(op, lit, &mut probes).expect("contiguous op");
+                        // The range is exactly the rows a full scan matches.
+                        let want: Vec<usize> = data
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &v)| op.eval(v, lit))
+                            .map(|(i, _)| i)
+                            .collect();
+                        let got: Vec<usize> = (lo..hi).collect();
+                        assert_eq!(got, want, "{:?} {op:?} {lit}", e.scheme());
+                        // Honest O(log n) probe accounting.
+                        if !data.is_empty() {
+                            let log = (data.len() as f64).log2().ceil() as u64 + 1;
+                            assert!(probes <= 2 * log + 2, "{probes} probes for n={}", data.len());
+                        }
+                    }
+                }
+                let mut probes = 0u64;
+                assert_eq!(e.sorted_range(CmpOp::Ne, 3, &mut probes), None);
             }
         }
     }

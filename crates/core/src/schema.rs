@@ -85,17 +85,52 @@ pub struct TableSchema {
     columns: Vec<(String, DataType)>,
     /// How many columns were added after creation (schema drift metric).
     evolved: usize,
+    /// Declared physical sort key: `merge()` rebuilds main segments
+    /// globally ordered by this column (string keys sort by dictionary
+    /// code, not collation — see `Table::merge`).
+    sort_key: Option<String>,
 }
 
 impl TableSchema {
     /// A strict schema with the given columns.
     pub fn strict(columns: Vec<(String, DataType)>) -> Self {
-        TableSchema { mode: SchemaMode::Strict, columns, evolved: 0 }
+        TableSchema { mode: SchemaMode::Strict, columns, evolved: 0, sort_key: None }
     }
 
     /// An empty flexible schema.
     pub fn flexible() -> Self {
-        TableSchema { mode: SchemaMode::Flexible, columns: Vec::new(), evolved: 0 }
+        TableSchema { mode: SchemaMode::Flexible, columns: Vec::new(), evolved: 0, sort_key: None }
+    }
+
+    /// Declares `column` as the physical sort key. The column must
+    /// exist and be `Int64` or `Str`; `merge()` then produces sorted
+    /// runs and the planner treats the layout as a costed property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is missing or is a float column (floats
+    /// have no total order the engine's zone maps understand). Use
+    /// [`Database::create_table_sorted`](crate::Database::create_table_sorted)
+    /// for a fallible variant.
+    #[must_use]
+    pub fn with_sort_key(mut self, column: &str) -> Self {
+        let dtype = self
+            .columns
+            .iter()
+            .find(|(n, _)| n == column)
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| panic!("sort key {column:?} is not a schema column"));
+        assert!(
+            matches!(dtype, DataType::Int64 | DataType::Str),
+            "sort key {column:?} must be Int64 or Str, got {dtype:?}"
+        );
+        self.sort_key = Some(column.to_string());
+        self
+    }
+
+    /// The declared sort key, if any.
+    pub fn sort_key(&self) -> Option<&str> {
+        self.sort_key.as_deref()
     }
 
     /// The enforcement mode.

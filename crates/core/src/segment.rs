@@ -78,7 +78,7 @@ impl SegColumn {
 /// the planner's [`haec_planner::access::zone_survival`] estimate can
 /// never disagree.
 pub fn zone_may_match(op: CmpOp, literal: i64, lo: i64, hi: i64) -> bool {
-    ZoneMapMeta { rows: 0, min: lo, max: hi }.may_match(op, literal)
+    ZoneMapMeta { rows: 0, min: lo, max: hi, sorted: false }.may_match(op, literal)
 }
 
 /// Returns `true` if **every** row of a segment whose column spans
@@ -104,6 +104,11 @@ pub struct Segment {
     columns: Vec<SegColumn>,
     /// Per-column validity; `None` = every row valid (the common case).
     validity: Vec<Option<Vec<bool>>>,
+    /// Column index this segment's rows are sorted ascending by
+    /// (dictionary-code order for string columns). Set only by the
+    /// sorting merge — see [`crate::table::Table::merge`] — and it is
+    /// the source of truth behind every `ZoneMapMeta::sorted` flag.
+    sorted_by: Option<usize>,
 }
 
 /// Builds the local→global code translation table for one string column:
@@ -125,12 +130,17 @@ impl Segment {
     /// the table-global dictionaries through `remaps` (parallel to
     /// `columns`, `Some` for string columns — see [`build_remap`];
     /// computed once per merge, not once per segment).
+    ///
+    /// `sorted_by` records which column (if any) the caller arranged the
+    /// rows of `[start, end)` in ascending order by; only the sorting
+    /// merge passes `Some` here, and it is asserted in debug builds.
     pub(crate) fn build(
         columns: &[Column],
         validity: &[Vec<bool>],
         start: usize,
         end: usize,
         remaps: &[Option<Vec<i64>>],
+        sorted_by: Option<usize>,
     ) -> Segment {
         let rows = end - start;
         let mut seg_cols = Vec::with_capacity(columns.len());
@@ -166,7 +176,17 @@ impl Segment {
                 }
             })
             .collect();
-        Segment { rows, columns: seg_cols, validity: seg_validity }
+        let seg = Segment { rows, columns: seg_cols, validity: seg_validity, sorted_by };
+        #[cfg(debug_assertions)]
+        if let Some(k) = sorted_by {
+            let mut prev = i64::MIN;
+            for row in 0..seg.rows {
+                let v = seg.get_int(k, row).expect("sort key must be an int or string column");
+                debug_assert!(prev <= v, "segment claims sorted_by {k} but row {row} regresses");
+                prev = v;
+            }
+        }
+        seg
     }
 
     /// Number of rows in this segment.
@@ -193,6 +213,13 @@ impl Segment {
             Some(SegColumn::Int { zone, .. }) | Some(SegColumn::Str { zone, .. }) => *zone,
             _ => None,
         }
+    }
+
+    /// The column index this segment is physically sorted ascending by
+    /// (dictionary-code order for strings), or `None` for merge-ordered
+    /// segments. Only [`crate::table::Table::merge`] sets this.
+    pub fn sorted_by(&self) -> Option<usize> {
+        self.sorted_by
     }
 
     /// Measured distinct-value count of integer column `idx` (`None` for
@@ -353,13 +380,22 @@ mod tests {
     fn build_compresses_and_zones() {
         let ints: Column = (0..1000i64).collect::<Vec<_>>().into_iter().collect();
         let validity = vec![vec![true; 1000]];
-        let seg = Segment::build(&[ints], &validity, 100, 900, &[None]);
+        let seg = Segment::build(&[ints], &validity, 100, 900, &[None], None);
         assert_eq!(seg.rows(), 800);
         assert_eq!(seg.zone(0), Some((100, 899)));
+        assert_eq!(seg.sorted_by(), None, "merge-ordered build claims no sort");
         assert!(seg.encoded_bytes() < seg.raw_bytes(), "sorted ints must compress");
         assert_eq!(seg.get_int(0, 0), Some(100));
         assert_eq!(seg.null_count(0), 0);
         assert_eq!(seg.null_count(5), 800, "missing column is all-null");
+    }
+
+    #[test]
+    fn build_records_sort_claim() {
+        let ints: Column = vec![1i64, 1, 2, 3, 5, 8].into_iter().collect();
+        let validity = vec![vec![true; 6]];
+        let seg = Segment::build(&[ints], &validity, 0, 6, &[None], Some(0));
+        assert_eq!(seg.sorted_by(), Some(0));
     }
 
     #[test]
@@ -372,7 +408,7 @@ mod tests {
         let mut global = DictColumn::new();
         global.intern("z"); // pre-existing global entry
         let remap = build_remap(&local, &mut global);
-        let seg = Segment::build(&[Column::Str(local)], &validity, 0, 4, &[Some(remap)]);
+        let seg = Segment::build(&[Column::Str(local)], &validity, 0, 4, &[Some(remap)], None);
         // Codes stored in the segment resolve through the global dict.
         let decoded: Vec<&str> =
             (0..4).map(|i| global.decode(seg.get_int(0, i).unwrap() as u32).unwrap()).collect();

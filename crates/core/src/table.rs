@@ -346,6 +346,37 @@ impl Table {
                 _ => None,
             })
             .collect();
+        // Sorting merge: a declared sort key reorders the pinned batch
+        // before it is chunked into segments, so every segment built
+        // here is internally sorted and the batch's segments carry
+        // disjoint ascending key ranges. The sort is **stable**, which
+        // together with prefix visibility keeps MVCC correct: a merge
+        // folds an entire timestamp prefix and `pin_at` refuses
+        // timestamps older than the folded `max_ts`, so no snapshot can
+        // ever observe part of a reordered batch. String keys sort by
+        // their **global dictionary code** (insertion order of first
+        // appearance, not collation) — the remap is computed above
+        // precisely so the sort and the stored codes agree.
+        let sorted_by = schema.sort_key().and_then(|k| schema.position(k));
+        let (delta, validity) = match sorted_by {
+            Some(key) => {
+                let keys: Vec<i64> = match &delta[key] {
+                    Column::Int64(v) => v.clone(),
+                    Column::Str(d) => {
+                        let remap = remaps[key].as_ref().expect("string column has a remap table");
+                        d.codes().iter().map(|&c| remap[c as usize]).collect()
+                    }
+                    Column::Float64(_) => unreachable!("sort keys are validated Int64 or Str"),
+                };
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                perm.sort_by_key(|&i| keys[i as usize]); // stable
+                let delta = delta.iter().map(|c| permute_column(c, &perm)).collect();
+                let validity =
+                    validity.iter().map(|v| perm.iter().map(|&i| v[i as usize]).collect()).collect();
+                (delta, validity)
+            }
+            None => (delta, validity),
+        };
         let mut stats = MergeStats { rows_merged: n, ..MergeStats::default() };
         let mut segments = old_main.segments.clone();
         let mut bases = old_main.bases.clone();
@@ -353,7 +384,7 @@ impl Table {
         let mut start = 0;
         while start < n {
             let end = (start + SEGMENT_ROWS).min(n);
-            let seg = Segment::build(&delta, &validity, start, end, &remaps);
+            let seg = Segment::build(&delta, &validity, start, end, &remaps, sorted_by);
             stats.raw_bytes += seg.raw_bytes();
             stats.encoded_bytes += seg.encoded_bytes();
             stats.segments_created += 1;
@@ -411,6 +442,22 @@ fn column_suffix(col: &Column, n: usize) -> Column {
             }
             Column::Str(out)
         }
+    }
+}
+
+/// Reorders a pinned delta column by a sort permutation (`perm[i]` is
+/// the source row of output row `i`). String columns keep their
+/// delta-local dictionary untouched and permute only the code vector,
+/// so the local→global remap tables computed before the sort stay
+/// valid for the permuted column.
+fn permute_column(col: &Column, perm: &[u32]) -> Column {
+    match col {
+        Column::Int64(v) => Column::Int64(perm.iter().map(|&i| v[i as usize]).collect()),
+        Column::Float64(v) => Column::Float64(perm.iter().map(|&i| v[i as usize]).collect()),
+        Column::Str(d) => Column::Str(DictColumn::from_codes(
+            d.iter_dict().map(String::from).collect(),
+            perm.iter().map(|&i| d.codes()[i as usize]).collect(),
+        )),
     }
 }
 
@@ -1015,13 +1062,18 @@ impl TableSnapshot {
         let mut zones = Vec::with_capacity(self.main.segments.len() + 1);
         for seg in &self.main.segments {
             let (min, max) = seg.zone(idx).unwrap_or((0, 0));
-            zones.push(ZoneMapMeta { rows: seg.rows() as u64, min, max });
+            // The sortedness claim flows from the segment the sorting
+            // merge built — never computed here, so a snapshot pinned
+            // across a merge always reports the flag its pinned
+            // segments actually carry.
+            let sorted = seg.sorted_by() == Some(idx);
+            zones.push(ZoneMapMeta { rows: seg.rows() as u64, min, max, sorted });
         }
         let delta = self.delta[idx].as_int64()?;
         if !delta.is_empty() {
             let min = delta.iter().copied().min().expect("non-empty");
             let max = delta.iter().copied().max().expect("non-empty");
-            zones.push(ZoneMapMeta { rows: delta.len() as u64, min, max });
+            zones.push(ZoneMapMeta { rows: delta.len() as u64, min, max, sorted: false });
         }
         Some(zones)
     }

@@ -303,6 +303,99 @@ proptest! {
         prop_assert_eq!(n, base_rows, "old snapshot unaffected by commit");
     }
 
+    /// Regression for the *sorting* merge racing pinned readers: a
+    /// table with a declared sort key swaps in permuted, sorted segment
+    /// sets while readers continuously pin snapshots. Every pinned view
+    /// must be internally consistent — each segment's sortedness claim
+    /// is true of its actual contents, the zone maps report exactly the
+    /// flags the pinned segments carry (never recomputed against a newer
+    /// layout), the delta zone never claims sortedness — and answers
+    /// must still match the serial prefix reference (the stable sort
+    /// respects MVCC prefix visibility).
+    #[test]
+    fn sorting_merge_keeps_pinned_snapshots_consistent(schedule in ops()) {
+        let key = |i: i64| (i * 31 + 7) % 100; // duplicates, unsorted arrival
+        let db = Database::new();
+        db.create_table_sorted("s", &[("k", DataType::Int64), ("v", DataType::Int64)], "k").unwrap();
+        db.set_merge_threshold("s", usize::MAX).unwrap();
+        let total = total_rows(&schedule);
+        let mut sum = vec![0i64; total + 1];
+        for i in 0..total {
+            sum[i + 1] = sum[i] + key(i as i64);
+        }
+        let done = AtomicBool::new(false);
+
+        thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let mut next = 0i64;
+                for op in &schedule {
+                    match op {
+                        Op::Insert(n) => {
+                            for _ in 0..*n {
+                                db.insert("s", &Record::new().with("k", key(next)).with("v", next))
+                                    .unwrap();
+                                next += 1;
+                            }
+                        }
+                        Op::Merge => {
+                            db.merge("s").unwrap();
+                        }
+                    }
+                }
+                done.store(true, Ordering::Release);
+            });
+            let reader = scope.spawn(|| {
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snap = db.begin_snapshot();
+                    let t = snap.table("s").expect("table s pinned");
+                    let n = t.rows();
+                    let zones = t.zone_maps("k").expect("int sort key");
+                    let segs = t.segments();
+                    for (zi, seg) in segs.iter().enumerate() {
+                        assert_eq!(
+                            zones[zi].sorted,
+                            seg.sorted_by() == Some(0),
+                            "zone flag must mirror the pinned segment's claim"
+                        );
+                        if zones[zi].sorted {
+                            let mut prev = i64::MIN;
+                            for r in 0..seg.rows() {
+                                let v = seg.get_int(0, r).expect("int sort key");
+                                assert!(v >= prev, "claimed-sorted segment out of order");
+                                prev = v;
+                            }
+                        }
+                    }
+                    if zones.len() > segs.len() {
+                        assert!(!zones[segs.len()].sorted, "delta zone never claims sortedness");
+                    }
+                    let q = Query::scan("s").aggregate(AggKind::Sum, "k");
+                    let got =
+                        snap.execute(&q).unwrap().rows.row(0).unwrap()[0].as_float().unwrap();
+                    assert_eq!(got as i64, sum[n], "prefix SUM(k) at n={n}");
+                    if finished {
+                        break;
+                    }
+                }
+            });
+            writer.join().unwrap();
+            reader.join().unwrap();
+        });
+
+        // Quiesced: one last merge, then the fully-sorted layout still
+        // answers the full-prefix reference.
+        db.merge("s").unwrap();
+        let snap = db.begin_snapshot();
+        let q = Query::scan("s").aggregate(AggKind::Sum, "k");
+        let got = snap.execute(&q).unwrap().rows.row(0).unwrap()[0].as_float().unwrap();
+        prop_assert_eq!(got as i64, sum[total]);
+        let t = snap.table("s").expect("pinned");
+        if total > 0 {
+            prop_assert!(t.zone_maps("k").expect("int sort key").iter().all(|z| z.sorted));
+        }
+    }
+
     /// Rolled-back transactions leave no trace.
     #[test]
     fn rollback_discards_the_overlay(base_rows in 0usize..64, pending in 1usize..16) {

@@ -170,8 +170,34 @@ pub fn sort_merge_join(left: &[i64], right: &[i64]) -> Vec<(u32, u32)> {
 /// `(left_row, right_row)` pairs ordered by key, then row ids (cross
 /// product per duplicate-key group).
 pub fn sort_merge_join_pairs(left: &mut [(i64, u32)], right: &mut [(i64, u32)]) -> Vec<(u32, u32)> {
-    left.sort_unstable();
-    right.sort_unstable();
+    sort_merge_join_pairs_presorted(left, right, false, false)
+}
+
+/// [`sort_merge_join_pairs`] for callers that *know* a side is already
+/// in key order — a table whose declared sort key is the join key
+/// streams its keys pre-sorted out of the main store, and the sort pass
+/// for that side is pure waste. A side flagged sorted is left untouched
+/// (debug builds verify the claim); unflagged sides are sorted in place
+/// as before. Output is identical to the unflagged entry point except
+/// for intra-group row order on a flagged side, which follows that
+/// side's storage order (ascending row ids — the same order
+/// `sort_unstable` by `(key, row)` would produce for distinct rows).
+pub fn sort_merge_join_pairs_presorted(
+    left: &mut [(i64, u32)],
+    right: &mut [(i64, u32)],
+    left_sorted: bool,
+    right_sorted: bool,
+) -> Vec<(u32, u32)> {
+    if left_sorted {
+        debug_assert!(left.windows(2).all(|w| w[0].0 <= w[1].0), "left side claimed sorted");
+    } else {
+        left.sort_unstable();
+    }
+    if right_sorted {
+        debug_assert!(right.windows(2).all(|w| w[0].0 <= w[1].0), "right side claimed sorted");
+    } else {
+        right.sort_unstable();
+    }
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < left.len() && j < right.len() {

@@ -14,6 +14,7 @@
 //! | `no-available-parallelism` | hardware sizing happens once at engine construction, never per query |
 //! | `meter-delta-billing` | query paths never bill per-query energy by subtracting meter totals (use `CostEstimate`) |
 //! | `instant-in-energy` | energy accounting is work-based, not wall-clock (`Instant::now`) based |
+//! | `sorted-claim` | sortedness claims (`sorted: true` / `sorted_by: Some(..)`) originate only in the merge build path, never ad hoc in query code |
 //!
 //! The scanner lexes each file just enough to **mask comments and
 //! string literals** (so prose can mention forbidden tokens freely) and
@@ -409,6 +410,30 @@ pub fn rules() -> Vec<Rule> {
                 } else {
                     None
                 }
+            },
+        },
+        Rule {
+            id: "sorted-claim",
+            // The only places allowed to *assert* physical sortedness:
+            // the sorting merge's build path (`Table::merge` →
+            // `Segment::build`) and the planner's own unit-cost code
+            // where `ZoneMapMeta`/`JoinSideCost` literals are test
+            // vectors. Everything else must read the flag off a pinned
+            // segment, never conjure it — a false claim silently turns
+            // binary search into wrong answers.
+            applies: |p| p != "crates/core/src/table.rs" && p != "crates/core/src/segment.rs",
+            exempt_in_tests: true,
+            check: |masked, _, _| {
+                for tok in ["sorted: true", "sorted_by: Some("] {
+                    if masked.contains(tok) {
+                        return Some(format!(
+                            "`{tok}` outside the merge build path: sortedness is established \
+                             by `Table::merge` (stable sort, then `Segment::build` records the \
+                             claim) and only *read* everywhere else"
+                        ));
+                    }
+                }
+                None
             },
         },
         Rule {

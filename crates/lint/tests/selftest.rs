@@ -174,6 +174,33 @@ fn calibration_harness_is_allow_listed() {
     assert!(rules_fired("crates/energy/src/calibrate.rs", src).is_empty());
 }
 
+// -- sorted-claim ------------------------------------------------------
+
+#[test]
+fn ad_hoc_sortedness_claim_fires() {
+    let src = "pub fn plan() {\n    let z = ZoneMapMeta { rows: 1, min: 0, max: 9, sorted: true };\n}\n";
+    let findings = scan_source("crates/planner/src/fake.rs", src);
+    assert!(findings.iter().any(|f| f.rule == "sorted-claim" && f.line == 2), "{findings:?}");
+    let src = "pub fn build() {\n    let s = Segment { sorted_by: Some(0) };\n}\n";
+    let fired = rules_fired("crates/core/src/fake.rs", src);
+    assert!(fired.contains(&"sorted-claim"), "{fired:?}");
+}
+
+#[test]
+fn merge_build_path_may_claim_sortedness() {
+    let src = "pub fn build() {\n    let s = Segment { sorted_by: Some(0) };\n}\n";
+    assert!(rules_fired("crates/core/src/segment.rs", src).is_empty());
+    assert!(rules_fired("crates/core/src/table.rs", src).is_empty());
+}
+
+#[test]
+fn test_fixtures_may_claim_sortedness() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn z() { let z = ZoneMapMeta { rows: 1, min: 0, max: 9, sorted: true }; }\n}\n";
+    assert!(rules_fired("crates/planner/src/fake.rs", src).is_empty());
+    let harness = "fn z() { let z = ZoneMapMeta { rows: 1, min: 0, max: 9, sorted: true }; }\n";
+    assert!(rules_fired("crates/core/tests/fake.rs", harness).is_empty());
+}
+
 // -- escapes -----------------------------------------------------------
 
 #[test]

@@ -19,6 +19,10 @@ pub enum AccessPath {
     FullScan,
     /// Resolve via the secondary index.
     IndexLookup,
+    /// Binary-search the disjoint sorted-segment zones, then the run
+    /// boundaries inside the surviving segment — available only when the
+    /// predicate column is the table's declared sort key.
+    ZoneBinarySearch,
 }
 
 impl fmt::Display for AccessPath {
@@ -26,11 +30,12 @@ impl fmt::Display for AccessPath {
         match self {
             AccessPath::FullScan => f.write_str("full-scan"),
             AccessPath::IndexLookup => f.write_str("index-lookup"),
+            AccessPath::ZoneBinarySearch => f.write_str("zone-binary-search"),
         }
     }
 }
 
-/// The decision with both alternatives costed.
+/// The decision with every alternative costed.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AccessDecision {
     /// The chosen path.
@@ -41,6 +46,9 @@ pub struct AccessDecision {
     pub scan_cost: PlanCost,
     /// Cost of the index alternative (`None` if no index exists).
     pub index_cost: Option<PlanCost>,
+    /// Cost of the zone-binary-search alternative (`None` unless the
+    /// column's layout is sorted — see [`sorted_layout`]).
+    pub sorted_cost: Option<PlanCost>,
 }
 
 impl AccessDecision {
@@ -49,6 +57,7 @@ impl AccessDecision {
         match self.path {
             AccessPath::FullScan => self.scan_cost,
             AccessPath::IndexLookup => self.index_cost.expect("index path implies index cost"),
+            AccessPath::ZoneBinarySearch => self.sorted_cost.expect("sorted path implies sorted cost"),
         }
     }
 }
@@ -78,6 +87,11 @@ pub struct ZoneMapMeta {
     pub min: i64,
     /// Largest value in the zone.
     pub max: i64,
+    /// The zone's rows are physically sorted ascending by this column —
+    /// set only when the storage layer's sorting merge produced the
+    /// segment (the delta tail is never sorted). Sorted zones admit
+    /// in-segment binary search instead of a scan.
+    pub sorted: bool,
 }
 
 impl ZoneMapMeta {
@@ -131,10 +145,24 @@ pub fn join_zone_overlap(zones: &[ZoneMapMeta], lo: i64, hi: i64) -> f64 {
     live as f64 / total as f64
 }
 
+/// Returns `true` if `zones` describes a sorted layout on this column:
+/// at least one sorted zone, and all sorted zones pairwise disjoint with
+/// ascending ranges (in slice order), so a literal can be located by
+/// binary search over the zone list. Unsorted zones (the delta tail)
+/// may trail; the caller prices them as a residual scan.
+pub fn sorted_layout(zones: &[ZoneMapMeta]) -> bool {
+    let sorted: Vec<&ZoneMapMeta> = zones.iter().filter(|z| z.sorted && z.rows > 0).collect();
+    !sorted.is_empty() && sorted.windows(2).all(|w| w[0].max <= w[1].min)
+}
+
 /// Chooses the access path on a **segmented, compressed** table: the
 /// scan alternative is costed with [`CostModel::scan_compressed`] —
 /// encoded bytes and zone-map survival rather than raw row width — so
-/// scan-vs-index crossovers reflect the compressed footprint.
+/// scan-vs-index crossovers reflect the compressed footprint. When the
+/// column's layout is sorted ([`sorted_layout`]), a third alternative is
+/// costed with [`CostModel::sorted_scan`]: zone binary search plus
+/// in-segment run binary search, with any unsorted tail rows priced as
+/// a residual compressed scan.
 pub fn choose_access_segmented(
     model: &CostModel,
     table: &TableMeta,
@@ -151,11 +179,33 @@ pub fn choose_access_segmented(
     let indexed = table.column(column).map(|c| c.indexed).unwrap_or(false)
         && matches!(op, CmpOp::Eq | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge);
     let index_cost = indexed.then(|| model.index_lookup(matches, table.row_bytes));
-    let path = match &index_cost {
-        Some(ic) if ic.time < scan_cost.time => AccessPath::IndexLookup,
-        _ => AccessPath::FullScan,
-    };
-    AccessDecision { path, selectivity: sel, scan_cost, index_cost }
+    let sorted_cost = (sorted_layout(zones) && op != CmpOp::Ne).then(|| {
+        let total_rows: u64 = zones.iter().map(|z| z.rows).sum::<u64>().max(1);
+        let sorted_rows: u64 = zones.iter().filter(|z| z.sorted).map(|z| z.rows).sum();
+        let segments = zones.iter().filter(|z| z.sorted).count() as u64;
+        let frac = sorted_rows as f64 / total_rows as f64;
+        let sorted_bytes = (encoded_bytes as f64 * frac).ceil() as u64;
+        let mut cost = model.sorted_scan(sorted_rows, sorted_bytes, sel, segments);
+        let unsorted_rows = total_rows - sorted_rows;
+        if unsorted_rows > 0 {
+            cost = cost + model.scan_compressed(unsorted_rows, encoded_bytes - sorted_bytes, sel, live);
+        }
+        cost
+    });
+    let mut path = AccessPath::FullScan;
+    let mut best = scan_cost.time;
+    if let Some(sc) = &sorted_cost {
+        if sc.time < best {
+            path = AccessPath::ZoneBinarySearch;
+            best = sc.time;
+        }
+    }
+    if let Some(ic) = &index_cost {
+        if ic.time < best {
+            path = AccessPath::IndexLookup;
+        }
+    }
+    AccessDecision { path, selectivity: sel, scan_cost, index_cost, sorted_cost }
 }
 
 /// Chooses the access path for `column op literal` on `table`, by
@@ -178,7 +228,7 @@ pub fn choose_access(
         Some(ic) if ic.time < scan_cost.time => AccessPath::IndexLookup,
         _ => AccessPath::FullScan,
     };
-    AccessDecision { path, selectivity: sel, scan_cost, index_cost }
+    AccessDecision { path, selectivity: sel, scan_cost, index_cost, sorted_cost: None }
 }
 
 #[cfg(test)]
@@ -282,7 +332,12 @@ mod tests {
     fn zone_survival_prunes_disjoint_segments() {
         // Four segments holding sorted keys: 0..250k each.
         let zones: Vec<ZoneMapMeta> = (0..4)
-            .map(|i| ZoneMapMeta { rows: 250_000, min: i * 250_000, max: (i + 1) * 250_000 - 1 })
+            .map(|i| ZoneMapMeta {
+                rows: 250_000,
+                min: i * 250_000,
+                max: (i + 1) * 250_000 - 1,
+                sorted: false,
+            })
             .collect();
         assert!((zone_survival(&zones, CmpOp::Eq, 10) - 0.25).abs() < 1e-9);
         assert!((zone_survival(&zones, CmpOp::Lt, 500_000) - 0.5).abs() < 1e-9);
@@ -295,8 +350,9 @@ mod tests {
     fn join_zone_overlap_prunes_probe_segments() {
         // Four sorted probe segments; a build side spanning only the
         // first quarter leaves one segment live.
-        let zones: Vec<ZoneMapMeta> =
-            (0..4).map(|i| ZoneMapMeta { rows: 1000, min: i * 1000, max: (i + 1) * 1000 - 1 }).collect();
+        let zones: Vec<ZoneMapMeta> = (0..4)
+            .map(|i| ZoneMapMeta { rows: 1000, min: i * 1000, max: (i + 1) * 1000 - 1, sorted: false })
+            .collect();
         assert!((join_zone_overlap(&zones, 0, 999) - 0.25).abs() < 1e-9);
         assert!((join_zone_overlap(&zones, 500, 1500) - 0.5).abs() < 1e-9);
         assert_eq!(join_zone_overlap(&zones, 10_000, 20_000), 0.0);
@@ -306,7 +362,7 @@ mod tests {
         assert_eq!(join_zone_overlap(&zones, 1, 0), 0.0);
         assert_eq!(join_zone_overlap(&[], 0, 10), 1.0);
         // The executor-side primitive agrees at the boundaries.
-        let z = ZoneMapMeta { rows: 1, min: 10, max: 20 };
+        let z = ZoneMapMeta { rows: 1, min: 10, max: 20, sorted: false };
         assert!(z.overlaps(20, 30));
         assert!(z.overlaps(0, 10));
         assert!(!z.overlaps(21, 30));
@@ -321,7 +377,12 @@ mod tests {
         let m = model();
         let t = table(10_000_000, false);
         let zones: Vec<ZoneMapMeta> = (0..10)
-            .map(|i| ZoneMapMeta { rows: 1_000_000, min: i * 1_000_000, max: (i + 1) * 1_000_000 - 1 })
+            .map(|i| ZoneMapMeta {
+                rows: 1_000_000,
+                min: i * 1_000_000,
+                max: (i + 1) * 1_000_000 - 1,
+                sorted: false,
+            })
             .collect();
         let flat = choose_access(&m, &t, "id", CmpOp::Lt, 1_000_000);
         let seg = choose_access_segmented(
@@ -341,12 +402,81 @@ mod tests {
     fn segmented_decision_respects_index_for_points() {
         let m = model();
         let t = table(10_000_000, true);
-        let zones = [ZoneMapMeta { rows: 10_000_000, min: 0, max: 9_999_999 }];
+        let zones = [ZoneMapMeta { rows: 10_000_000, min: 0, max: 9_999_999, sorted: false }];
         let d = choose_access_segmented(&m, &t, "id", CmpOp::Eq, 42, &zones, 10_000_000);
         assert_eq!(d.path, AccessPath::IndexLookup);
         // But a fully-prunable predicate makes the scan free-ish and
         // beats the index even for Eq.
         let cold = choose_access_segmented(&m, &t, "id", CmpOp::Eq, -5, &zones, 10_000_000);
         assert_eq!(cold.scan_cost.time.min(cold.chosen_cost().time), cold.chosen_cost().time);
+    }
+
+    #[test]
+    fn sorted_layout_detection() {
+        let z = |min: i64, max: i64, sorted: bool| ZoneMapMeta { rows: 1000, min, max, sorted };
+        // Disjoint ascending sorted segments + unsorted delta tail.
+        assert!(sorted_layout(&[z(0, 9, true), z(10, 19, true), z(5, 25, false)]));
+        // A duplicate key straddling the boundary is still sorted.
+        assert!(sorted_layout(&[z(0, 10, true), z(10, 19, true)]));
+        // Overlapping sorted zones are not a sorted layout.
+        assert!(!sorted_layout(&[z(0, 12, true), z(10, 19, true)]));
+        // No sorted zone at all.
+        assert!(!sorted_layout(&[z(0, 9, false), z(10, 19, false)]));
+        assert!(!sorted_layout(&[]));
+        // Zero-row sorted zones don't count.
+        assert!(!sorted_layout(&[ZoneMapMeta { rows: 0, min: 0, max: 9, sorted: true }]));
+    }
+
+    #[test]
+    fn sorted_point_access_beats_scan_and_index() {
+        // A 10M-row sorted layout with no index: the point lookup must
+        // choose zone binary search over the scan on both objectives —
+        // the layout itself is the index.
+        let m = model();
+        let t = table(10_000_000, false);
+        let zones: Vec<ZoneMapMeta> = (0..160)
+            .map(|i| ZoneMapMeta { rows: 62_500, min: i * 62_500, max: (i + 1) * 62_500 - 1, sorted: true })
+            .collect();
+        let d = choose_access_segmented(&m, &t, "id", CmpOp::Eq, 42, &zones, 10_000_000 * 2);
+        assert_eq!(d.path, AccessPath::ZoneBinarySearch);
+        let sc = d.sorted_cost.unwrap();
+        assert!(sc.time < d.scan_cost.time);
+        assert!(sc.energy.joules() < d.scan_cost.energy.joules());
+        assert_eq!(d.chosen_cost(), sc);
+        // With a secondary index present the cheaper of the two O(log)
+        // alternatives wins — never the scan.
+        let ti = table(10_000_000, true);
+        let di = choose_access_segmented(&m, &ti, "id", CmpOp::Eq, 42, &zones, 10_000_000 * 2);
+        assert_ne!(di.path, AccessPath::FullScan);
+        assert_eq!(format!("{}", AccessPath::ZoneBinarySearch), "zone-binary-search");
+        // At full selectivity binary search saves almost nothing: both
+        // paths stream every encoded byte, so the advantage collapses
+        // from orders of magnitude (point) to the per-row predicate
+        // evaluation the range path skips.
+        let broad = choose_access_segmented(&m, &t, "id", CmpOp::Ge, 0, &zones, 10_000_000 * 2);
+        let broad_ratio = broad.sorted_cost.unwrap().time.as_secs_f64() / broad.scan_cost.time.as_secs_f64();
+        let point_ratio = sc.time.as_secs_f64() / d.scan_cost.time.as_secs_f64();
+        assert!(broad_ratio > 0.5, "full-selectivity sorted path must pay the full stream");
+        assert!(point_ratio < 0.1 && point_ratio < broad_ratio, "point advantage must dominate");
+        // Ne is never contiguous → no sorted alternative.
+        let ne = choose_access_segmented(&m, &t, "id", CmpOp::Ne, 42, &zones, 10_000_000 * 2);
+        assert!(ne.sorted_cost.is_none());
+    }
+
+    #[test]
+    fn sorted_cost_prices_unsorted_tail() {
+        // Same layout with a large unsorted delta tail: the sorted
+        // alternative must get strictly more expensive than without it.
+        let m = model();
+        let t = table(2_000_000, false);
+        let mut zones: Vec<ZoneMapMeta> = (0..16)
+            .map(|i| ZoneMapMeta { rows: 62_500, min: i * 62_500, max: (i + 1) * 62_500 - 1, sorted: true })
+            .collect();
+        let clean = choose_access_segmented(&m, &t, "id", CmpOp::Eq, 42, &zones, 2_000_000);
+        zones.push(ZoneMapMeta { rows: 1_000_000, min: 0, max: 999_999, sorted: false });
+        let tailed = choose_access_segmented(&m, &t, "id", CmpOp::Eq, 42, &zones, 3_000_000);
+        let (c, t2) = (clean.sorted_cost.unwrap(), tailed.sorted_cost.unwrap());
+        assert!(t2.time > c.time, "unsorted tail must be billed as a residual scan");
+        assert!(t2.energy.joules() > c.energy.joules());
     }
 }

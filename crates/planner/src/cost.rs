@@ -61,6 +61,9 @@ pub struct JoinSideCost {
     pub encoded_key_bytes: u64,
     /// Fraction of rows/bytes in segments surviving zone pruning.
     pub live_frac: f64,
+    /// This side's key column is already physically sorted (declared
+    /// sort key, no delta tail): sort-merge gets its sort passes free.
+    pub sorted: bool,
 }
 
 impl JoinSideCost {
@@ -165,6 +168,24 @@ impl CostModel {
         self.finish(ResourceProfile::scan(cycles, ByteCount::new(bytes)))
     }
 
+    /// Cost of resolving a predicate on a **declared sort key** laid out
+    /// as disjoint sorted segments: binary-search the segment list
+    /// (`log segments` zone probes), binary-search the run boundaries
+    /// inside the surviving segment (`2 log rows` value probes, ~one
+    /// cache line each), then stream only the matching fraction of the
+    /// encoded column. No index is touched and no non-matching row is
+    /// read — the layout itself is the index.
+    pub fn sorted_scan(&self, rows: u64, encoded_bytes: u64, sel: f64, segments: u64) -> PlanCost {
+        let sel = sel.clamp(0.0, 1.0);
+        let matches = (sel * rows as f64).ceil() as u64;
+        let probes =
+            (segments.max(2) as f64).log2().ceil() as u64 + 2 * (rows.max(2) as f64).log2().ceil() as u64;
+        let cycles = self.costs.cycles_for(Kernel::IndexLookup, probes)
+            + self.costs.cycles_for(Kernel::Materialize, matches);
+        let bytes = probes * 64 + (sel * encoded_bytes as f64).ceil() as u64;
+        self.finish(ResourceProfile::scan(cycles, ByteCount::new(bytes)))
+    }
+
     /// Cost of resolving the same predicate through an index returning
     /// `matches` rows (tree descent per match batch + row fetches).
     pub fn index_lookup(&self, matches: u64, row_bytes: u64) -> PlanCost {
@@ -252,13 +273,18 @@ impl CostModel {
             ..ResourceProfile::default()
         });
         let n = b + p;
-        let levels = (n.max(2) as f64).log2().ceil() as u64;
+        // A declared-sort-key side arrives pre-sorted: its sort passes
+        // cost nothing, only the unsorted side(s) pay `n log n`.
+        let levels_of = |rows: u64| (rows.max(2) as f64).log2().ceil() as u64;
+        let sort_items = (if build.sorted { 0 } else { b * levels_of(b) })
+            + (if probe.sorted { 0 } else { p * levels_of(p) });
         let merge_cost = self.finish(ResourceProfile {
-            cpu_cycles: self.costs.cycles_for(Kernel::SortPerLevel, n * levels)
+            cpu_cycles: self.costs.cycles_for(Kernel::SortPerLevel, sort_items)
                 + self.costs.cycles_for(Kernel::Materialize, out_rows),
-            // Encoded key streams, sort passes over the extracted pairs,
-            // and the final merge pass over both sorted runs.
-            dram_read: ByteCount::new(stream_bytes + n * 8 * levels + n * 8),
+            // Encoded key streams, sort passes over the extracted pairs
+            // of each unsorted side, and the final merge pass over both
+            // sorted runs.
+            dram_read: ByteCount::new(stream_bytes + sort_items * 8 + n * 8),
             dram_written: ByteCount::new(n * 8 + out_rows * 8),
             ..ResourceProfile::default()
         });
@@ -368,8 +394,13 @@ mod tests {
     #[test]
     fn join_compressed_picks_small_build_side_and_prunes() {
         let m = model();
-        let dim = JoinSideCost { rows: 10_000, encoded_key_bytes: 10_000 * 2, live_frac: 1.0 };
-        let fact = JoinSideCost { rows: 10_000_000, encoded_key_bytes: 10_000_000 * 2, live_frac: 1.0 };
+        let dim = JoinSideCost { rows: 10_000, encoded_key_bytes: 10_000 * 2, live_frac: 1.0, sorted: false };
+        let fact = JoinSideCost {
+            rows: 10_000_000,
+            encoded_key_bytes: 10_000_000 * 2,
+            live_frac: 1.0,
+            sorted: false,
+        };
         let d = m.join_compressed(&dim, &fact, 10_000_000);
         assert!(d.build_left, "the small dimension side must build");
         let flipped = m.join_compressed(&fact, &dim, 10_000_000);
@@ -395,7 +426,7 @@ mod tests {
         let m = model();
         let rows = 8_000_000u64;
         let encoded = rows * 2;
-        let side = JoinSideCost { rows, encoded_key_bytes: encoded, live_frac: 1.0 };
+        let side = JoinSideCost { rows, encoded_key_bytes: encoded, live_frac: 1.0, sorted: false };
         let compressed = m.join_compressed(&side, &side, rows);
         let decode = m.finish(ResourceProfile {
             cpu_cycles: m.costs.cycles_for(Kernel::CompressDecode, rows * 2),
