@@ -25,6 +25,7 @@ pub mod e20_late_materialization;
 pub mod e21_mvcc_snapshots;
 pub mod e22_query_server;
 pub mod e23_sort_layout;
+pub mod e24_overload_degradation;
 
 use crate::report::Report;
 
@@ -57,6 +58,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("e21", e21_mvcc_snapshots::run),
         ("e22", e22_query_server::run),
         ("e23", e23_sort_layout::run),
+        ("e24", e24_overload_degradation::run),
         ("a01", a01_ablations::run),
     ]
 }

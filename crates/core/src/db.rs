@@ -792,6 +792,11 @@ impl Database {
     /// [`DbError::NoSuchTable`].
     pub fn insert(&self, table: &str, record: &Record) -> DbResult<Timestamp> {
         let t = self.handle(table)?;
+        // Fires before any state is touched: an injected failure must
+        // leave the row unpublished, unindexed, and unbilled.
+        fail::fail_point!("db::insert", |msg: Option<String>| Err(DbError::Exec(
+            msg.unwrap_or_else(|| "failpoint db::insert".into())
+        )));
         // Hold the index guard across the row's publication so a reader
         // whose pin sees the row can never miss its index entry: the
         // index path looks up under this same mutex, and the filter
@@ -867,6 +872,9 @@ impl Database {
     /// path keeps them out of plans (correct but slower). The rebuild is
     /// billed exactly like the original backfill — it is the same work.
     fn rebuild_indexes_for(&self, table: &str, handle: &Arc<Table>) {
+        // A fault here strands indexes at their pre-merge epoch: the
+        // epoch gate must keep them out of plans (slower, never wrong).
+        fail::fail_point!("index::rebuild");
         let mut indexes = self.indexes.lock();
         let t = handle.read();
         for ((tname, col), entry) in indexes.iter_mut() {
@@ -993,6 +1001,18 @@ impl Database {
     /// newer than the pin are filtered out by global row id.
     /// `use_indexes` is off for overlay views, whose pending rows the
     /// live indexes do not cover.
+    /// Surfaces a fired cancel token as [`DbError::Cancelled`], billing
+    /// `profile` — the work the query did before stopping — to the
+    /// meter so partial runs stay energy-honest (the meter only ever
+    /// moves forward; a cancelled query just adds less).
+    fn check_cancelled(&self, opts: &ExecOpts, profile: &ResourceProfile) -> DbResult<()> {
+        if opts.is_cancelled() {
+            let est = self.charge(profile);
+            return Err(DbError::Cancelled { partial_energy: est.energy });
+        }
+        Ok(())
+    }
+
     fn execute_pinned(
         &self,
         t: &TableSnapshot,
@@ -1003,6 +1023,7 @@ impl Database {
         let started = std::time::Instant::now();
         let mut profile = ResourceProfile::default();
         let mut access_path = None;
+        self.check_cancelled(opts, &profile)?;
 
         // --- resolve + type-check all predicates up front --------------
         let int_preds = resolve_int_preds(t, &query.table, &query.filters)?;
@@ -1117,6 +1138,10 @@ impl Database {
             }
             None => {} // no predicates: all rows
         }
+        // A cancel that landed mid-scan left `positions` covering only
+        // the units evaluated before the signal — never hand a partial
+        // survivor set to the aggregation/projection stage.
+        self.check_cancelled(opts, &profile)?;
 
         // --- aggregation / projection ---------------------------------
         let out = match (&query.group_by, &query.agg) {
@@ -1187,6 +1212,10 @@ impl Database {
                 }
             }
         };
+
+        // A cancel during aggregation or materialization folded only
+        // the units that ran; discard the partial chunk, bill the work.
+        self.check_cancelled(opts, &profile)?;
 
         // --- metering ---------------------------------------------------
         // The query's own cost estimate *is* its energy (identical to
@@ -1270,6 +1299,9 @@ impl Database {
             profile += pr;
             Some(p)
         };
+        // Cancelled mid-filter: the survivor lists cover only part of
+        // either side — stop before they feed the join plan.
+        self.check_cancelled(opts, &profile)?;
 
         // --- plan: build side + algorithm, on compressed footprints ---
         let l_rows = lpos.as_ref().map_or(lt.rows(), Vec::len) as u64;
@@ -1393,6 +1425,9 @@ impl Database {
                 }
             }
         };
+        // Build/probe stream over the same cancellable morsel units as
+        // scans; a partial pair list must never reach the gather.
+        self.check_cancelled(opts, &profile)?;
 
         // --- late gather: only surviving pairs touch payloads ---------
         let (lrows, rrows): (Vec<u32>, Vec<u32>) =
@@ -1420,6 +1455,7 @@ impl Database {
         // --- metering -------------------------------------------------
         // Like `execute_pinned`: the estimate is the query's energy,
         // race-free under concurrent charging.
+        self.check_cancelled(opts, &profile)?;
         let est = self.charge(&profile);
         Ok(QueryResult {
             rows: out,
@@ -1737,8 +1773,12 @@ impl Database {
             // units per dispenser grab; below, one morsel = one unit
             // (a main segment is the finest unit storage defines).
             let units_per_grab = (opts.morsel_rows.max(1) / crate::segment::SEGMENT_ROWS).max(1);
-            let spec =
-                RunSpec { dop: dop.min(units), morsel_rows: units_per_grab, gate: opts.gate.as_deref() };
+            let spec = RunSpec {
+                dop: dop.min(units),
+                morsel_rows: units_per_grab,
+                gate: opts.gate.as_deref(),
+                cancel: opts.cancel.as_ref(),
+            };
             let mut parts = self.pool.run(
                 units,
                 spec,
@@ -1754,13 +1794,18 @@ impl Database {
         } else {
             // Serial path: still hold one gate permit per unit, so the
             // fleet-wide in-flight accounting a server's energy cap
-            // relies on stays exact for *every* admitted query.
-            (0..units)
-                .map(|u| {
-                    let _permit = opts.gate.as_deref().map(MorselGate::acquire);
-                    eval(u)
-                })
-                .collect()
+            // relies on stays exact for *every* admitted query — and
+            // poll the cancel token per unit, matching the pooled
+            // path's one-morsel cancellation latency.
+            let mut out = Vec::with_capacity(units);
+            for u in 0..units {
+                if opts.is_cancelled() {
+                    break;
+                }
+                let _permit = opts.gate.as_deref().map(MorselGate::acquire);
+                out.push(eval(u));
+            }
+            out
         }
     }
 

@@ -1,6 +1,7 @@
 //! The crate-wide error type.
 
 use haec_columnar::value::DataType;
+use haec_energy::units::Joules;
 use std::fmt;
 
 /// Errors surfaced by the database facade.
@@ -52,6 +53,14 @@ pub enum DbError {
         /// Human-readable reason.
         String,
     ),
+    /// The query was cancelled (explicitly or by deadline) before it
+    /// completed. The engine stops within one morsel of the signal and
+    /// bills the bytes it already touched — `partial_energy` is that
+    /// honest partial charge, already applied to the meter.
+    Cancelled {
+        /// Energy consumed by the work done before the cancel landed.
+        partial_energy: Joules,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -71,6 +80,9 @@ impl fmt::Display for DbError {
             }
             DbError::Exec(msg) => write!(f, "execution failed: {msg}"),
             DbError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            DbError::Cancelled { partial_energy } => {
+                write!(f, "query cancelled after spending {partial_energy}")
+            }
         }
     }
 }
@@ -85,6 +97,11 @@ impl From<haec_exec::pipeline::ExecError> for DbError {
 
 /// Crate-wide result alias.
 pub type DbResult<T> = Result<T, DbError>;
+
+/// Query-facing alias of [`DbError`]: the name callers match when they
+/// care about per-query outcomes like
+/// [`Cancelled`](DbError::Cancelled).
+pub type QueryError = DbError;
 
 #[cfg(test)]
 mod tests {

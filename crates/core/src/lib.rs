@@ -61,7 +61,7 @@ pub mod table;
 /// used types of the substrate crates).
 pub mod prelude {
     pub use crate::db::{Database, DbSnapshot, DbTransaction, Filter, Query, QueryResult, StrFilter};
-    pub use crate::error::{DbError, DbResult};
+    pub use crate::error::{DbError, DbResult, QueryError};
     pub use crate::index::{IndexMaintenance, IndexStats, SecondaryIndex};
     pub use crate::robust::{run_with_failures, RestartPolicy, RobustReport};
     pub use crate::schema::{Record, SchemaMode, TableSchema};
@@ -69,13 +69,14 @@ pub mod prelude {
     pub use crate::table::{Table, TableSnapshot};
     pub use haec_columnar::value::{CmpOp, DataType, Value};
     pub use haec_exec::agg::AggKind;
+    pub use haec_exec::cancel::CancelToken;
     pub use haec_exec::pool::{ExecOpts, MorselGate, WorkerPool};
     pub use haec_planner::optimizer::Goal;
     pub use haec_txn::oracle::{Timestamp, TimestampOracle};
 }
 
 pub use db::{Database, DbSnapshot, DbTransaction, Query, QueryResult};
-pub use error::{DbError, DbResult};
+pub use error::{DbError, DbResult, QueryError};
 pub use index::IndexMaintenance;
 pub use schema::{Record, SchemaMode, TableSchema};
 pub use table::{Table, TableSnapshot};

@@ -325,7 +325,11 @@ impl Table {
             )
         };
         // Build — no lock held; readers pin snapshots and writers
-        // append freely while the delta is re-encoded.
+        // append freely while the delta is re-encoded. A fault anywhere
+        // in this phase unwinds with only local state in hand: the
+        // pinned `Arc`s drop, the table keeps its old version, and the
+        // next merge re-pins the (still intact) delta from scratch.
+        fail::fail_point!("merge::build");
         let mut dicts: Vec<Option<DictColumn>> = (0..schema.width())
             .map(|idx| {
                 old_main
@@ -346,6 +350,7 @@ impl Table {
                 _ => None,
             })
             .collect();
+        fail::fail_point!("merge::remap");
         // Sorting merge: a declared sort key reorders the pinned batch
         // before it is chunked into segments, so every segment built
         // here is internally sorted and the batch's segments carry
@@ -383,6 +388,7 @@ impl Table {
         let mut main_rows = old_main.rows;
         let mut start = 0;
         while start < n {
+            fail::fail_point!("merge::segment");
             let end = (start + SEGMENT_ROWS).min(n);
             let seg = Segment::build(&delta, &validity, start, end, &remaps, sorted_by);
             stats.raw_bytes += seg.raw_bytes();
@@ -402,6 +408,12 @@ impl Table {
         // that now live in segments predating the column) keep their
         // tail positions.
         let mut st = self.inner.write();
+        // The publish failpoint sits after the write lock is taken but
+        // before the first field mutation: an injected panic here
+        // releases the (non-poisoning) lock on unwind with the old
+        // state untouched — the strictest spot to prove the swap is
+        // all-or-nothing.
+        fail::fail_point!("merge::publish");
         debug_assert_eq!(st.main.epoch, old_main.epoch, "mergers are serialized");
         st.delta = st.delta.iter().map(|c| column_suffix(c, n)).collect();
         st.delta_validity = st.delta_validity.iter().map(|v| v[n..].to_vec()).collect();

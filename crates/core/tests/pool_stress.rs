@@ -180,6 +180,7 @@ proptest! {
                         dop: [1, 4, 8, 12][reader],
                         morsel_rows: [1024, 4096, 16 * 1024, 2048][reader],
                         gate: None,
+                        cancel: None,
                     };
                     scope.spawn(move || {
                         let mut last_n = 0usize;
@@ -235,7 +236,7 @@ proptest! {
             db.merge("t").unwrap();
         }
         let gate = MorselGate::new(1);
-        let opts = ExecOpts { dop: WORKERS, morsel_rows: 1024, gate: Some(Arc::clone(&gate)) };
+        let opts = ExecOpts { dop: WORKERS, morsel_rows: 1024, gate: Some(Arc::clone(&gate)), cancel: None };
         reference.check(&db.begin_snapshot(), &opts, "gated");
         prop_assert!(gate.high_water() <= 1, "budget-1 gate admitted {} concurrent morsels", gate.high_water());
         prop_assert_eq!(gate.inflight(), 0, "all permits returned");
@@ -258,7 +259,7 @@ fn all_grant_levels_agree() {
     let reference = Reference::new((rows + 2_500) as usize);
     for dop in [1, 2, WORKERS, 2 * WORKERS] {
         for morsel_rows in [1024, 16 * 1024, 64 * 1024] {
-            let opts = ExecOpts { dop, morsel_rows, gate: None };
+            let opts = ExecOpts { dop, morsel_rows, gate: None, cancel: None };
             reference.check(&db.begin_snapshot(), &opts, &format!("dop={dop} morsel={morsel_rows}"));
         }
     }

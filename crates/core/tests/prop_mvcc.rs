@@ -396,6 +396,125 @@ proptest! {
         }
     }
 
+    /// Cancellation racing insert+merge: readers pin snapshots and run
+    /// the aggregate pipeline under randomly drawn cancel tokens and
+    /// deadlines while the writer churns. Two invariants, per query:
+    ///
+    /// * **completed ⇒ exact** — a query that runs to completion
+    ///   answers precisely as the serial prefix reference dictates,
+    ///   cancellation machinery in the options or not;
+    /// * **cancelled ⇒ honest partial bill** — a cancelled query's
+    ///   `partial_energy` never exceeds the energy of an uncancelled
+    ///   twin executed on the *same* snapshot (partial work is a subset
+    ///   of full work), and is never negative.
+    #[test]
+    fn cancelled_readers_bill_at_most_their_completed_twin(
+        schedule in ops(),
+        modes in proptest::collection::vec(0u8..5, 4..=12),
+    ) {
+        let db = make_db();
+        let reference = Reference::new(total_rows(&schedule));
+        let done = AtomicBool::new(false);
+
+        thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let mut next = 0i64;
+                for op in &schedule {
+                    match op {
+                        Op::Insert(n) => {
+                            for _ in 0..*n {
+                                db.insert("t", &record(next)).unwrap();
+                                next += 1;
+                            }
+                        }
+                        Op::Merge => {
+                            db.merge("t").unwrap();
+                        }
+                    }
+                }
+                done.store(true, Ordering::Release);
+            });
+            let readers: Vec<_> = (0..2)
+                .map(|reader| {
+                    let done = &done;
+                    let db = &db;
+                    let reference = &reference;
+                    let modes = &modes;
+                    scope.spawn(move || {
+                        let q_sum = Query::scan("t").aggregate(AggKind::Sum, "amount");
+                        let mut iterations = 0usize;
+                        loop {
+                            let finished = done.load(Ordering::Acquire);
+                            let token = match modes[iterations % modes.len()] {
+                                0 => None,
+                                1 => {
+                                    let t = CancelToken::new();
+                                    t.cancel();
+                                    Some(t)
+                                }
+                                // Already expired, lands at the first check.
+                                2 => Some(CancelToken::deadline_in(std::time::Duration::ZERO)),
+                                // Tiny: may land at any phase boundary.
+                                3 => Some(CancelToken::deadline_in(
+                                    std::time::Duration::from_micros(20),
+                                )),
+                                // Generous: never lands.
+                                _ => Some(CancelToken::deadline_in(
+                                    std::time::Duration::from_secs(300),
+                                )),
+                            };
+                            let opts = ExecOpts { cancel: token, ..ExecOpts::default() };
+                            let snap = db.begin_snapshot();
+                            let n = snap.table("t").expect("table t pinned").rows();
+                            let ctx = format!("reader {reader} iteration {iterations} n={n}");
+                            // The uncancelled twin on the SAME snapshot is
+                            // both the answer oracle and the energy bound.
+                            let twin = snap.execute(&q_sum).unwrap();
+                            assert_eq!(
+                                twin.rows.row(0).unwrap()[0].as_float().unwrap() as i64,
+                                reference.sum[n],
+                                "{ctx}: twin answer"
+                            );
+                            match snap.execute_opts(&q_sum, &opts) {
+                                Ok(out) => {
+                                    assert_eq!(
+                                        out.rows.row(0).unwrap()[0].as_float().unwrap() as i64,
+                                        reference.sum[n],
+                                        "{ctx}: completed under cancel machinery"
+                                    );
+                                }
+                                Err(DbError::Cancelled { partial_energy }) => {
+                                    assert!(
+                                        partial_energy.joules() >= 0.0,
+                                        "{ctx}: negative partial bill"
+                                    );
+                                    assert!(
+                                        partial_energy.joules() <= twin.energy.joules() + 1e-9,
+                                        "{ctx}: cancelled bill {partial_energy} exceeds \
+                                         completed twin {}",
+                                        twin.energy
+                                    );
+                                }
+                                Err(other) => panic!("{ctx}: unexpected error {other}"),
+                            }
+                            iterations += 1;
+                            if finished {
+                                break;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            writer.join().unwrap();
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+
+        // Quiesced, with no cancellation in play, the reference holds.
+        reference.check(&db.begin_snapshot(), "final");
+    }
+
     /// Rolled-back transactions leave no trace.
     #[test]
     fn rollback_discards_the_overlay(base_rows in 0usize..64, pending in 1usize..16) {

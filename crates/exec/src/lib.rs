@@ -47,6 +47,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod agg;
+pub mod cancel;
 pub mod join;
 pub mod metrics;
 pub mod morsel;
@@ -61,6 +62,7 @@ pub mod prelude {
         aggregate, group_aggregate, parallel_group_sum, predicted_speedup, AggKind, AggState,
         ParallelAggReport, SyncStrategy,
     };
+    pub use crate::cancel::CancelToken;
     pub use crate::join::{hash_join_metered, sort_merge_join, HashJoin};
     pub use crate::metrics::OpStats;
     pub use crate::morsel::{parallel_morsels, Morsel, MorselDispenser};
@@ -70,6 +72,7 @@ pub mod prelude {
 }
 
 pub use agg::{AggKind, AggState, SyncStrategy};
+pub use cancel::CancelToken;
 pub use metrics::OpStats;
 pub use pipeline::{ExecError, Pipeline};
 pub use pool::{ExecOpts, MorselGate, RunSpec, WorkerPool};

@@ -40,6 +40,7 @@
 //! dereferences the job pointer. This is the same scheme rayon uses for
 //! scoped jobs on a persistent pool.
 
+use crate::cancel::CancelToken;
 use crate::morsel::{Morsel, MorselDispenser, DEFAULT_MORSEL_ROWS};
 use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::sync::thread::{self, JoinHandle};
@@ -190,11 +191,14 @@ pub struct ExecOpts {
     /// Fleet-wide in-flight morsel budget this query must respect,
     /// shared with every other query admitted by the same server.
     pub gate: Option<Arc<MorselGate>>,
+    /// Cooperative cancel/deadline signal, polled at every morsel
+    /// boundary; `None` means the query runs to completion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExecOpts {
     fn default() -> Self {
-        ExecOpts { dop: 0, morsel_rows: DEFAULT_MORSEL_ROWS, gate: None }
+        ExecOpts { dop: 0, morsel_rows: DEFAULT_MORSEL_ROWS, gate: None, cancel: None }
     }
 }
 
@@ -202,6 +206,12 @@ impl ExecOpts {
     /// Options with an explicit parallelism grant.
     pub fn with_dop(dop: usize) -> Self {
         ExecOpts { dop, ..ExecOpts::default() }
+    }
+
+    /// Whether this query has been cancelled (explicitly or by
+    /// deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -219,12 +229,14 @@ pub struct RunSpec<'a> {
     /// Fleet-wide in-flight morsel gate every unit must hold a permit
     /// from, if any.
     pub gate: Option<&'a MorselGate>,
+    /// Cancel/deadline signal every unit polls between morsels, if any.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 impl RunSpec<'_> {
     /// An ungated spec.
     pub fn new(dop: usize, morsel_rows: usize) -> RunSpec<'static> {
-        RunSpec { dop, morsel_rows, gate: None }
+        RunSpec { dop, morsel_rows, gate: None, cancel: None }
     }
 }
 
@@ -344,6 +356,7 @@ struct JobShared<'a, T, W, M> {
     work: &'a W,
     merge: &'a M,
     gate: Option<&'a MorselGate>,
+    cancel: Option<&'a CancelToken>,
     results: Mutex<Vec<T>>,
     token: Arc<JobToken>,
 }
@@ -355,15 +368,21 @@ where
     M: Fn(T, T) -> T + Send + Sync,
 {
     /// One unit's drain loop: acquire a gate permit (when capped), pull
-    /// a morsel, fold it in; stop when the domain is exhausted or a
-    /// sibling unit panicked. Each permit covers exactly one in-flight
-    /// morsel.
+    /// a morsel, fold it in; stop when the domain is exhausted, a
+    /// sibling unit panicked, or the query's cancel token fired (the
+    /// "within one morsel" cancellation latency bound). Each permit
+    /// covers exactly one in-flight morsel, so a cancelled unit can
+    /// never leave a permit behind.
     fn run_unit(&self) {
         let mut acc: Option<T> = None;
         loop {
             if self.token.aborted.load(Ordering::Relaxed) {
                 break;
             }
+            if self.cancel.is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
+            fail::fail_point!("pool::dispatch");
             let _permit = self.gate.map(MorselGate::acquire);
             let Some(m) = self.dispenser.next_morsel() else { break };
             let v = (self.work)(m);
@@ -487,6 +506,7 @@ impl WorkerPool {
             work: &work,
             merge: &merge,
             gate: spec.gate,
+            cancel: spec.cancel,
             results: Mutex::new(Vec::new()),
             token: Arc::clone(&token),
         };
@@ -563,9 +583,15 @@ fn worker_main(shared: &PoolShared) {
             }
         };
         if task.token.try_start() {
-            // SAFETY: `try_start` won, so the submitter is still inside
-            // `run` and `job` is alive until we report `finish`.
-            let r = catch_unwind(AssertUnwindSafe(|| unsafe { (task.run)(task.job) }));
+            // The failpoint sits inside the catch so an injected pickup
+            // panic travels the same recovery path as a unit panic.
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                fail::fail_point!("pool::pickup");
+                // SAFETY: `try_start` won, so the submitter is still
+                // inside `run` and `job` is alive until we report
+                // `finish`.
+                unsafe { (task.run)(task.job) }
+            }));
             task.token.finish(r.err());
         }
     }
@@ -621,7 +647,7 @@ mod tests {
         let peak = AtomicU64::new(0);
         let total = pool.run(
             64 * 64,
-            RunSpec { dop: 5, morsel_rows: 64, gate: Some(&gate) },
+            RunSpec { dop: 5, morsel_rows: 64, gate: Some(&gate), cancel: None },
             |m: Morsel| {
                 let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(now, Ordering::SeqCst);
@@ -707,6 +733,51 @@ mod tests {
             }
         });
         assert_eq!(pool.threads_spawned(), 4);
+    }
+
+    #[test]
+    fn cancel_stops_at_morsel_boundary() {
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::new();
+        let processed = AtomicUsize::new(0);
+        let token_ref = &token;
+        // The first processed morsel raises the flag: every unit must
+        // stop before taking another, so far fewer than the 1024
+        // available morsels run.
+        let n = pool.run(
+            64 * 1024,
+            RunSpec { dop: 3, morsel_rows: 64, gate: None, cancel: Some(token_ref) },
+            |m: Morsel| {
+                processed.fetch_add(1, Ordering::SeqCst);
+                token_ref.cancel();
+                m.len()
+            },
+            |a, b| a + b,
+            0usize,
+        );
+        let done = processed.load(Ordering::SeqCst);
+        assert!((1..=4).contains(&done), "at most one in-flight morsel per unit: {done}");
+        assert!(n < 64 * 1024, "cancelled run must not cover the domain");
+        // The pool remains serviceable for the next (uncancelled) job.
+        let s = pool.run(10_000, RunSpec::new(3, 512), |m: Morsel| m.len(), |a, b| a + b, 0usize);
+        assert_eq!(s, 10_000);
+    }
+
+    #[test]
+    fn gated_cancel_returns_all_permits() {
+        let pool = WorkerPool::new(4);
+        let gate = MorselGate::new(2);
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the job even starts
+        let n = pool.run(
+            64 * 64,
+            RunSpec { dop: 4, morsel_rows: 64, gate: Some(&gate), cancel: Some(&token) },
+            |m: Morsel| m.len(),
+            |a, b| a + b,
+            0usize,
+        );
+        assert_eq!(n, 0, "pre-cancelled job processes nothing");
+        assert_eq!(gate.inflight(), 0, "no permit may outlive the job");
     }
 
     #[test]

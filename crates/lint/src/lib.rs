@@ -15,6 +15,7 @@
 //! | `meter-delta-billing` | query paths never bill per-query energy by subtracting meter totals (use `CostEstimate`) |
 //! | `instant-in-energy` | energy accounting is work-based, not wall-clock (`Instant::now`) based |
 //! | `sorted-claim` | sortedness claims (`sorted: true` / `sorted_by: Some(..)`) originate only in the merge build path, never ad hoc in query code |
+//! | `failpoint-confined` | failpoint *arming* (`fail::cfg`/`seed`/`teardown`) is test-harness-only, and `fail_point!` instrumentation lives only in the designated engine crates |
 //!
 //! The scanner lexes each file just enough to **mask comments and
 //! string literals** (so prose can mention forbidden tokens freely) and
@@ -181,20 +182,29 @@ pub fn mask_source(src: &str) -> String {
 // #[cfg(test)] region detection
 // ---------------------------------------------------------------------
 
-/// 1-based inclusive line ranges covered by `#[cfg(test)]` items
+/// 1-based inclusive line ranges covered by `#[cfg(test)]` items —
+/// including conjunctive gates like `#[cfg(all(test, not(haec_loom)))]`
 /// (modules, functions, single statements), located by brace matching
-/// on the masked source.
+/// on the masked source. `#[cfg(not(test))]` is deliberately *not* a
+/// test region.
 pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
     let chars: Vec<char> = masked.chars().collect();
     let mut regions = Vec::new();
-    let mut search = 0;
     let text: String = masked.to_string();
-    while let Some(pos) = text[search..].find("#[cfg(test)]") {
+    for pat in ["#[cfg(test)]", "#[cfg(all(test"] {
+        collect_regions(&text, &chars, pat, &mut regions);
+    }
+    regions
+}
+
+fn collect_regions(text: &str, chars: &[char], pat: &str, regions: &mut Vec<(usize, usize)>) {
+    let mut search = 0;
+    while let Some(pos) = text[search..].find(pat) {
         let attr_at = search + pos;
-        let start_line = line_of(&chars, attr_at);
+        let start_line = line_of(chars, attr_at);
         // Find where the item ends: first `{` (then brace-match) or a
         // `;` before any `{` (attribute on a braceless item).
-        let mut i = attr_at + "#[cfg(test)]".len();
+        let mut i = attr_at + pat.len();
         let mut end = None;
         while i < chars.len() {
             match chars[i] {
@@ -220,10 +230,9 @@ pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
             }
         }
         let end_at = end.unwrap_or(chars.len().saturating_sub(1));
-        regions.push((start_line, line_of(&chars, end_at)));
+        regions.push((start_line, line_of(chars, end_at)));
         search = attr_at + 1;
     }
-    regions
 }
 
 fn line_of(chars: &[char], pos: usize) -> usize {
@@ -434,6 +443,51 @@ pub fn rules() -> Vec<Rule> {
                     }
                 }
                 None
+            },
+        },
+        Rule {
+            // Production code must never *arm* a failpoint: a stray
+            // `fail::cfg` in the engine would make injected faults part
+            // of normal operation instead of a test-harness input.
+            id: "failpoint-confined",
+            applies: |p| !p.starts_with("shims/fail/"),
+            exempt_in_tests: true,
+            check: |masked, _, _| {
+                for tok in ["fail::cfg(", "fail::seed(", "fail::teardown(", "fail::remove("] {
+                    if masked.contains(tok) {
+                        return Some(format!(
+                            "`{tok}..)` outside a test harness: failpoints are armed by tests \
+                             (under `--cfg haec_fail`), never by production code"
+                        ));
+                    }
+                }
+                None
+            },
+        },
+        Rule {
+            // ... and `fail_point!` instrumentation sites stay confined
+            // to the engine crates that declare them (core, exec,
+            // sched), so the instrumented surface — pinned by name in
+            // `fault_injection.rs` — cannot silently sprawl.
+            id: "failpoint-confined",
+            applies: |p| {
+                !p.starts_with("shims/fail/")
+                    && !p.starts_with("crates/core/src/")
+                    && !p.starts_with("crates/exec/src/")
+                    && !p.starts_with("crates/sched/src/")
+            },
+            exempt_in_tests: true,
+            check: |masked, _, _| {
+                if masked.contains("fail_point!") {
+                    Some(
+                        "`fail_point!` outside the instrumented engine crates (core/exec/sched): \
+                         new failpoint surfaces must be deliberate — add the crate here and pin \
+                         the point's name in `fault_injection.rs`"
+                            .into(),
+                    )
+                } else {
+                    None
+                }
             },
         },
         Rule {

@@ -50,6 +50,18 @@ fn cfg_test_regions_are_located_by_brace_matching() {
     assert_eq!(regions, vec![(2, 5)]);
 }
 
+#[test]
+fn conjunctive_cfg_test_gates_are_test_regions() {
+    // Loom-excluded test modules are still test code.
+    let src = "fn a() {}\n#[cfg(all(test, not(haec_loom)))]\nmod tests {\n    fn t() { std::thread::scope(|s| {}); }\n}\n";
+    assert_eq!(test_regions(&mask_source(src)), vec![(2, 5)]);
+    assert!(rules_fired("crates/sched/src/fake.rs", src).is_empty());
+    // ...but a *negated* test gate is not.
+    let not_test = "#[cfg(not(test))]\nfn serve() { std::thread::spawn(|| {}); }\n";
+    let fired = rules_fired("crates/sched/src/fake.rs", not_test);
+    assert!(fired.contains(&"no-thread-spawn"), "{fired:?}");
+}
+
 // -- safety-comment ----------------------------------------------------
 
 #[test]
@@ -199,6 +211,51 @@ fn test_fixtures_may_claim_sortedness() {
     assert!(rules_fired("crates/planner/src/fake.rs", src).is_empty());
     let harness = "fn z() { let z = ZoneMapMeta { rows: 1, min: 0, max: 9, sorted: true }; }\n";
     assert!(rules_fired("crates/core/tests/fake.rs", harness).is_empty());
+}
+
+// -- failpoint-confined ------------------------------------------------
+
+#[test]
+fn arming_a_failpoint_in_production_code_fires() {
+    for line in ["fail::cfg(\"merge::publish\", \"panic\").unwrap();", "fail::seed(42);", "fail::teardown();"]
+    {
+        let src = format!("pub fn serve() {{\n    {line}\n}}\n");
+        let findings = scan_source("crates/core/src/fake.rs", &src);
+        assert!(
+            findings.iter().any(|f| f.rule == "failpoint-confined" && f.line == 2),
+            "{line}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn instrumentation_outside_engine_crates_fires() {
+    let src = "pub fn plan() {\n    fail::fail_point!(\"planner::cost\");\n}\n";
+    let fired = rules_fired("crates/planner/src/fake.rs", src);
+    assert!(fired.contains(&"failpoint-confined"), "{fired:?}");
+}
+
+#[test]
+fn instrumentation_in_engine_crates_passes() {
+    let src = "pub fn merge() {\n    fail::fail_point!(\"merge::publish\");\n}\n";
+    assert!(rules_fired("crates/core/src/fake.rs", src).is_empty());
+    assert!(rules_fired("crates/exec/src/fake.rs", src).is_empty());
+    assert!(rules_fired("crates/sched/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn test_harnesses_may_arm_failpoints() {
+    let src = "fn t() { fail::cfg(\"db::insert\", \"return(x)\").unwrap(); fail::teardown(); }\n";
+    assert!(rules_fired("crates/core/tests/fault_injection.rs", src).is_empty());
+    let in_region =
+        "pub fn api() {}\n#[cfg(test)]\nmod tests {\n    fn t() { fail::cfg(\"a\", \"off\").unwrap(); }\n}\n";
+    assert!(rules_fired("crates/core/src/fake.rs", in_region).is_empty());
+}
+
+#[test]
+fn the_fail_shim_itself_is_exempt() {
+    let src = "pub fn cfg(name: &str, spec: &str) {}\npub fn f() { fail_point!(\"x\"); }\n";
+    assert!(rules_fired("shims/fail/src/lib.rs", src).is_empty());
 }
 
 // -- escapes -----------------------------------------------------------

@@ -39,20 +39,29 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
+pub mod backoff;
 pub mod elastic;
 pub mod governor;
 pub mod qserver;
 pub mod server;
+pub(crate) mod sync;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
+    pub use crate::admission::{AdmissionGate, AdmitError, AdmitPermit};
+    pub use crate::backoff::Backoff;
     pub use crate::elastic::{diurnal_trace, run_cluster_sim, ClusterSimResult, Provisioning};
     pub use crate::governor::{decide, GovernorDecision, GovernorInput, GovernorPolicy};
-    pub use crate::qserver::{QueryServer, QueryServerConfig, ServedQuery, ServerError, ServerStats};
+    pub use crate::qserver::{
+        QueryId, QueryOpts, QueryServer, QueryServerConfig, ServedQuery, ServerError, ServerStats,
+    };
     pub use crate::server::{run_server_sim, ServerSimConfig, ServerSimResult};
 }
 
+pub use admission::{AdmissionGate, AdmitError};
+pub use backoff::Backoff;
 pub use elastic::{run_cluster_sim, Provisioning};
 pub use governor::GovernorPolicy;
-pub use qserver::{QueryServer, QueryServerConfig};
+pub use qserver::{QueryId, QueryOpts, QueryServer, QueryServerConfig};
 pub use server::{run_server_sim, ServerSimConfig, ServerSimResult};

@@ -1,0 +1,11 @@
+//! Concurrency primitives behind a cfg switch: `--cfg haec_loom`
+//! (via `RUSTFLAGS`) swaps the admission path's locks, condvars and
+//! atomics onto the model-checking shim so `loom_qserver.rs` can
+//! explore admit → cancel → release interleavings exhaustively; normal
+//! builds compile straight to `std::sync` with zero indirection.
+
+#[cfg(haec_loom)]
+pub(crate) use loom::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(haec_loom))]
+pub(crate) use std::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};

@@ -1,0 +1,357 @@
+//! Offline stand-in for the crates.io `fail` failpoint crate.
+//!
+//! A **failpoint** is a named hook compiled into production code at a
+//! spot where something could go wrong — a publish swap, an allocation,
+//! a worker picking up a job. Tests arm a failpoint by name with an
+//! *action string* (`fail::cfg("merge::publish", "panic")`) and then
+//! drive the real code path; the hook fires the action exactly where
+//! the fault would occur, letting the suite prove the surrounding
+//! recovery logic (unwind safety, lock hygiene, meter monotonicity)
+//! against injected faults it could never trigger organically.
+//!
+//! ## cfg gating
+//!
+//! The entire runtime is gated behind `--cfg haec_fail` (set via
+//! `RUSTFLAGS`, mirroring the workspace's `haec_loom` convention).
+//! Without the cfg, [`fail_point!`] expands to **nothing** — not an
+//! empty function call, literally no tokens — so instrumented hot paths
+//! carry zero overhead in normal builds. The registry functions
+//! ([`cfg()`], [`remove`], [`teardown`], [`list`], [`seed`]) always exist
+//! so harness code typechecks under both cfgs, but degrade to no-ops.
+//!
+//! ## Action strings
+//!
+//! An action string is a `->`-chained sequence of terms, each
+//! `[P%][N*]action[(arg)]`, evaluated left to right on every hit:
+//!
+//! * `off` — do nothing (still consumes a count if `N*` given).
+//! * `panic` / `panic(msg)` — panic at the failpoint.
+//! * `return` / `return(msg)` — make the enclosing function return an
+//!   error; only valid at sites instrumented with the two-argument
+//!   [`fail_point!`] form.
+//! * `sleep(ms)` — sleep the calling thread for `ms` milliseconds.
+//! * `yield` — yield the calling thread once.
+//! * `N*action` — a countdown trigger: the term fires `N` times, then
+//!   evaluation advances to the next term. `2*off->1*panic` runs two
+//!   hits clean and panics on the third — deterministic replay of
+//!   "fail on the k-th merge".
+//! * `P%action` — fire with probability `P`% per hit, drawn from a
+//!   seeded linear-congruential generator ([`seed`] or the
+//!   `HAEC_FAIL_SEED` env var) so probabilistic runs replay exactly.
+//!
+//! A term without a count persists forever once reached; when every
+//! term is exhausted the failpoint is inert.
+//!
+//! ## Example
+//!
+//! ```
+//! fail::seed(42);
+//! fail::cfg("demo::hook", "1*off->panic").unwrap();
+//! // First hit: no-op. Second and later hits: panic (under
+//! // `--cfg haec_fail`; without it the macro vanishes entirely).
+//! fn hook() {
+//!     fail::fail_point!("demo::hook");
+//! }
+//! hook();
+//! fail::teardown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(haec_fail)]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// What a term does when it fires.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Task {
+        /// Do nothing.
+        Off,
+        /// Panic with an optional message.
+        Panic(Option<String>),
+        /// Ask the enclosing function to early-return an error.
+        Return(Option<String>),
+        /// Sleep for the given number of milliseconds.
+        Sleep(u64),
+        /// Yield the thread once.
+        Yield,
+    }
+
+    /// One `[P%][N*]action` term of an action string.
+    #[derive(Debug, Clone)]
+    struct Term {
+        /// Fire probability in percent (100 = always).
+        freq: u32,
+        /// Remaining fires; `None` = unlimited.
+        count: Option<usize>,
+        task: Task,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Vec<Term>>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Vec<Term>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn rng_state() -> &'static AtomicU64 {
+        static STATE: OnceLock<AtomicU64> = OnceLock::new();
+        STATE.get_or_init(|| {
+            let seed = std::env::var("HAEC_FAIL_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0x5DEECE66D);
+            AtomicU64::new(seed)
+        })
+    }
+
+    /// Reseed the deterministic generator behind `P%` terms.
+    pub fn seed(s: u64) {
+        rng_state().store(s, Ordering::SeqCst);
+    }
+
+    /// One LCG step; returns a value in `0..100`.
+    fn roll() -> u32 {
+        let state = rng_state();
+        let mut cur = state.load(Ordering::SeqCst);
+        loop {
+            let next = cur.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match state.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return ((next >> 33) % 100) as u32,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn parse_term(term: &str) -> Result<Term, String> {
+        let term = term.trim();
+        let mut rest = term;
+        let mut freq = 100u32;
+        if let Some((p, tail)) = rest.split_once('%') {
+            freq =
+                p.trim().parse::<u32>().map_err(|_| format!("bad probability in failpoint term {term:?}"))?;
+            if freq > 100 {
+                return Err(format!("probability > 100% in failpoint term {term:?}"));
+            }
+            rest = tail;
+        }
+        let mut count = None;
+        if let Some((n, tail)) = rest.split_once('*') {
+            count =
+                Some(n.trim().parse::<usize>().map_err(|_| format!("bad count in failpoint term {term:?}"))?);
+            rest = tail;
+        }
+        let rest = rest.trim();
+        let (name, arg) = match rest.split_once('(') {
+            Some((name, tail)) => {
+                let arg = tail
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed argument in failpoint term {term:?}"))?;
+                (name.trim(), Some(arg.to_string()))
+            }
+            None => (rest, None),
+        };
+        let task = match (name, arg) {
+            ("off", None) => Task::Off,
+            ("panic", arg) => Task::Panic(arg),
+            ("return", arg) => Task::Return(arg),
+            ("sleep", Some(ms)) => {
+                Task::Sleep(ms.trim().parse::<u64>().map_err(|_| format!("bad sleep millis in {term:?}"))?)
+            }
+            ("yield", None) => Task::Yield,
+            _ => return Err(format!("unknown failpoint action {term:?}")),
+        };
+        Ok(Term { freq, count, task })
+    }
+
+    /// Arm failpoint `name` with `actions`; replaces any prior config.
+    pub fn cfg(name: &str, actions: &str) -> Result<(), String> {
+        let terms = actions.split("->").map(parse_term).collect::<Result<Vec<_>, String>>()?;
+        registry().lock().unwrap().insert(name.to_string(), terms);
+        Ok(())
+    }
+
+    /// Disarm failpoint `name` (no-op if not armed).
+    pub fn remove(name: &str) {
+        registry().lock().unwrap().remove(name);
+    }
+
+    /// Disarm every failpoint.
+    pub fn teardown() {
+        registry().lock().unwrap().clear();
+    }
+
+    /// The armed failpoints and how many terms each still carries.
+    pub fn list() -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> =
+            registry().lock().unwrap().iter().map(|(k, v)| (k.clone(), v.len())).collect();
+        out.sort();
+        out
+    }
+
+    /// Pick the task to run for one hit of `name`, honoring counts and
+    /// probabilities. Counts are consumed under the registry lock;
+    /// blocking tasks (sleep) run *after* the lock is released.
+    fn next_task(name: &str) -> Option<Task> {
+        let mut reg = registry().lock().unwrap();
+        let terms = reg.get_mut(name)?;
+        for term in terms.iter_mut() {
+            if term.count == Some(0) {
+                continue; // exhausted: fall through to the next term
+            }
+            if term.freq < 100 && roll() >= term.freq {
+                continue; // roll failed: try the next term this hit
+            }
+            if let Some(n) = term.count.as_mut() {
+                *n -= 1;
+            }
+            return Some(term.task.clone());
+        }
+        None
+    }
+
+    /// Run one hit of failpoint `name`. Returns `Some(msg)` when a
+    /// `return` action fired (the macro early-returns with it).
+    pub fn eval(name: &str) -> Option<Option<String>> {
+        match next_task(name)? {
+            Task::Off => None,
+            Task::Panic(msg) => {
+                let msg = msg.unwrap_or_else(|| format!("failpoint {name} panic"));
+                panic!("{msg}");
+            }
+            Task::Return(msg) => Some(msg),
+            Task::Sleep(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            Task::Yield => {
+                std::thread::yield_now();
+                None
+            }
+        }
+    }
+}
+
+#[cfg(haec_fail)]
+pub use imp::{cfg, eval, list, remove, seed, teardown};
+
+// Without `--cfg haec_fail` the registry degrades to no-ops so harness
+// code typechecks under both cfgs; `fail_point!` expands to nothing.
+#[cfg(not(haec_fail))]
+mod noop {
+    /// Arm a failpoint (no-op without `--cfg haec_fail`).
+    pub fn cfg(_name: &str, _actions: &str) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Disarm a failpoint (no-op without `--cfg haec_fail`).
+    pub fn remove(_name: &str) {}
+
+    /// Disarm every failpoint (no-op without `--cfg haec_fail`).
+    pub fn teardown() {}
+
+    /// Armed failpoints (always empty without `--cfg haec_fail`).
+    pub fn list() -> Vec<(String, usize)> {
+        Vec::new()
+    }
+
+    /// Reseed (no-op without `--cfg haec_fail`).
+    pub fn seed(_s: u64) {}
+}
+
+#[cfg(not(haec_fail))]
+pub use noop::{cfg, list, remove, seed, teardown};
+
+/// Mark a failpoint in production code.
+///
+/// One-argument form: the point can `panic`, `sleep`, or `yield` but
+/// not `return` (arming `return` here panics, flagging the misuse).
+/// Two-argument form `fail_point!("name", |msg| expr)`: a `return`
+/// action makes the enclosing function return `expr`, with `msg` the
+/// optional `return(msg)` payload.
+///
+/// Without `--cfg haec_fail` both forms expand to no tokens.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        #[cfg(haec_fail)]
+        if let Some(_msg) = $crate::eval($name) {
+            panic!("failpoint {} cannot `return` here (no error path)", $name);
+        }
+    }};
+    ($name:expr, $ret:expr) => {{
+        #[cfg(haec_fail)]
+        if let Some(msg) = $crate::eval($name) {
+            let msg: Option<String> = msg;
+            #[allow(clippy::redundant_closure_call)]
+            return ($ret)(msg);
+        }
+    }};
+}
+
+#[cfg(all(test, haec_fail))]
+mod tests {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global, so tests that assert on its full
+    /// contents must not interleave.
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn countdown_chain_replays() {
+        let _serial = serial();
+        super::teardown();
+        super::cfg("t::count", "2*off->1*return(x)->off").unwrap();
+        assert_eq!(super::eval("t::count"), None);
+        assert_eq!(super::eval("t::count"), None);
+        assert_eq!(super::eval("t::count"), Some(Some("x".into())));
+        assert_eq!(super::eval("t::count"), None); // trailing `off` persists
+        assert_eq!(super::eval("t::count"), None);
+        super::teardown();
+    }
+
+    #[test]
+    fn unarmed_is_inert() {
+        assert_eq!(super::eval("t::nothing"), None);
+    }
+
+    #[test]
+    fn seeded_probability_replays() {
+        let _serial = serial();
+        super::teardown();
+        super::cfg("t::prob", "50%return").unwrap();
+        super::seed(7);
+        let a: Vec<bool> = (0..32).map(|_| super::eval("t::prob").is_some()).collect();
+        super::seed(7);
+        let b: Vec<bool> = (0..32).map(|_| super::eval("t::prob").is_some()).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x), "50% should mix: {a:?}");
+        super::teardown();
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(super::cfg("t::bad", "explode").is_err());
+        assert!(super::cfg("t::bad", "12x*panic").is_err());
+        assert!(super::cfg("t::bad", "sleep(abc)").is_err());
+        assert!(super::cfg("t::bad", "150%panic").is_err());
+        assert!(super::list().iter().all(|(name, _)| name != "t::bad"));
+    }
+
+    #[test]
+    fn remove_and_list() {
+        let _serial = serial();
+        super::teardown();
+        super::cfg("t::a", "off").unwrap();
+        super::cfg("t::b", "panic->off").unwrap();
+        assert_eq!(super::list(), vec![("t::a".into(), 1), ("t::b".into(), 2)]);
+        super::remove("t::a");
+        assert_eq!(super::list(), vec![("t::b".into(), 2)]);
+        super::teardown();
+        assert!(super::list().is_empty());
+    }
+}
